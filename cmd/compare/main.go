@@ -1,0 +1,65 @@
+// Command compare loads two measured tables saved as JSON by
+// `tables -json` — a PDM run (Table 1) and an NDM run (Table 2) over the
+// same workload grid — and prints the paper's headline comparison: the
+// per-threshold worst-case detection percentages at the saturated load,
+// their ratios, and the mean improvement factor (the paper reports ~10x),
+// plus the message-length sensitivity of each mechanism.
+//
+// Usage:
+//
+//	tables -table 1 -relative -json > t1.json
+//	tables -table 2 -relative -json > t2.json
+//	compare t1.json t2.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wormnet/internal/exp"
+)
+
+func load(path string) (*exp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return exp.DecodeJSON(f)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: compare <pdm.json> <ndm.json>")
+		os.Exit(2)
+	}
+	pdm, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	ndm, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	if err := exp.CompareReport(os.Stdout, pdm, ndm); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Println("smallest threshold with <= 0.1% detections at the saturated load, per message size:")
+	for name, r := range map[string]*exp.Result{"PDM": pdm, "NDM": ndm} {
+		fmt.Printf("  %s: ", name)
+		sens := exp.LengthSensitivity(r, 0.1)
+		for _, size := range r.Table.Sizes {
+			th := sens[size.Key]
+			if th < 0 {
+				fmt.Printf("%s=never ", size.Key)
+			} else {
+				fmt.Printf("%s=%d ", size.Key, th)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,117 @@
+// Command wormsim runs a single wormhole-network simulation and prints its
+// metrics, including the percentage of messages detected as possibly
+// deadlocked — the figure of merit of López, Martínez & Duato (HPCA 1998).
+//
+// Examples:
+//
+//	wormsim -k 8 -n 3 -load 0.514 -pattern uniform -len 16 -mech ndm -th 32
+//	wormsim -k 4 -n 2 -load 2.0 -vcs 1 -mech pdm -th 16 -inject-limit -1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wormnet"
+)
+
+func main() {
+	cfg := wormnet.DefaultConfig()
+	var (
+		k        = flag.Int("k", cfg.K, "radix of the k-ary n-cube")
+		n        = flag.Int("n", cfg.N, "dimensions of the k-ary n-cube")
+		vcs      = flag.Int("vcs", cfg.VirtualChannels, "virtual channels per physical channel")
+		buf      = flag.Int("buf", cfg.BufferFlits, "flit buffer depth per virtual channel")
+		ports    = flag.Int("ports", cfg.Ports, "injection/delivery ports per node")
+		pattern  = flag.String("pattern", string(cfg.Pattern), "traffic pattern: uniform|locality|bit-reversal|perfect-shuffle|butterfly|hot-spot")
+		radius   = flag.Int("locality-radius", cfg.LocalityRadius, "radius of the locality pattern")
+		hotFrac  = flag.Float64("hot-fraction", cfg.HotFraction, "fraction of traffic to the hot node")
+		length   = flag.Int("len", 16, "fixed message length in flits (0 selects the bimodal sl mix)")
+		load     = flag.Float64("load", cfg.Load, "offered load in flits/cycle/node")
+		mech     = flag.String("mech", string(cfg.Mechanism), "detection mechanism: ndm|pdm|src-age|src-stall|hdr-block|none")
+		th       = flag.Int64("th", cfg.Threshold, "detection threshold in cycles (t2 for ndm)")
+		t1       = flag.Int64("t1", cfg.T1, "ndm short threshold t1")
+		sel      = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
+		rec      = flag.String("recovery", string(cfg.Recovery), "recovery style: progressive|regressive")
+		injLimit = flag.Int("inject-limit", cfg.InjectionLimit, "injection limitation threshold (busy output VCs); negative disables")
+		warmup   = flag.Int64("warmup", cfg.Warmup, "warm-up cycles")
+		measure  = flag.Int64("measure", cfg.Measure, "measured cycles")
+		seed     = flag.Uint64("seed", cfg.Seed, "random seed")
+		oracle   = flag.Int64("oracle-every", 0, "run the global deadlock oracle every N cycles (0 = only at detections)")
+		observe  = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
+	)
+	flag.Parse()
+
+	cfg.K, cfg.N = *k, *n
+	cfg.VirtualChannels, cfg.BufferFlits, cfg.Ports = *vcs, *buf, *ports
+	cfg.Pattern = wormnet.Pattern(*pattern)
+	cfg.LocalityRadius = *radius
+	cfg.HotFraction = *hotFrac
+	if *length > 0 {
+		cfg.Lengths = wormnet.Lengths{Fixed: *length}
+	} else {
+		cfg.Lengths = wormnet.LenSL
+	}
+	cfg.Load = *load
+	cfg.Mechanism = wormnet.Mechanism(*mech)
+	cfg.Threshold = *th
+	cfg.T1 = *t1
+	cfg.SelectivePromotion = *sel
+	cfg.Recovery = wormnet.Recovery(*rec)
+	cfg.InjectionLimit = *injLimit
+	cfg.Warmup, cfg.Measure = *warmup, *measure
+	cfg.Seed = *seed
+	cfg.OracleEvery = *oracle
+
+	var res *wormnet.Result
+	var err error
+	if *observe > 0 {
+		res, err = wormnet.Observe(cfg, *observe, func(cycle int64, summary, heatmap string) {
+			fmt.Fprintf(os.Stderr, "cycle %d: %s\n", cycle, summary)
+			if cfg.N == 2 {
+				fmt.Fprint(os.Stderr, heatmap)
+			}
+		})
+	} else {
+		res, err = wormnet.Run(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("network:        %d-ary %d-cube, %d VCs x %d flits, %d ports\n",
+		cfg.K, cfg.N, cfg.VirtualChannels, cfg.BufferFlits, cfg.Ports)
+	fmt.Printf("workload:       %s, load %.4g flits/cycle/node\n", cfg.Pattern, cfg.Load)
+	fmt.Printf("detector:       %s, recovery %s\n", res.DetectorName, cfg.Recovery)
+	fmt.Printf("cycles:         %d measured (after %d warm-up)\n", cfg.Measure, cfg.Warmup)
+	fmt.Println()
+	fmt.Printf("generated:      %d messages\n", res.Generated)
+	fmt.Printf("delivered:      %d messages (%d flits)\n", res.Delivered, res.DeliveredFlits)
+	fmt.Printf("throughput:     %.4f flits/cycle/node\n", res.Throughput())
+	fmt.Printf("latency:        avg %.1f cycles (net %.1f, max %d)\n",
+		res.AvgLatency(), res.AvgNetLatency(), res.MaxLatency)
+	fmt.Println()
+	fmt.Printf("detected:       %d messages (%.3f%% of delivered)\n", res.Marked, res.PctMarked())
+	fmt.Printf("  true:         %d (actual deadlock confirmed by the oracle)\n", res.TrueMarked)
+	fmt.Printf("  false:        %d (%.3f%% of delivered)\n", res.FalseMarked, res.PctFalseMarked())
+	fmt.Printf("recovery:       %d absorbed, %d aborted, %d re-injected, %d delivered by recovery\n",
+		res.Absorbed, res.Aborted, res.Reinjected, res.RecoveredDelivered)
+	if res.OracleRuns > 0 {
+		fmt.Printf("oracle:         %d runs, %d saw deadlock (max set %d)\n",
+			res.OracleRuns, res.DeadlockCycles, res.MaxDeadlockSet)
+	}
+	if res.Marked > 0 {
+		fmt.Printf("marks/cycle:    ")
+		for k := 1; k < len(res.MarksPerCycleHist); k++ {
+			if res.MarksPerCycleHist[k] > 0 {
+				fmt.Printf("%dx%d ", k, res.MarksPerCycleHist[k])
+			}
+		}
+		if res.MarksPerCycleHist[0] > 0 {
+			fmt.Printf(">=%dx%d", len(res.MarksPerCycleHist), res.MarksPerCycleHist[0])
+		}
+		fmt.Println()
+	}
+}

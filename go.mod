@@ -1,0 +1,3 @@
+module wormnet
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package deadlock provides a global, omniscient deadlock oracle for the
+// simulator. The distributed mechanisms in internal/detect only see local
+// router state; the oracle sees the whole network and computes the set of
+// messages that are *truly* deadlocked, so that every detection can be
+// classified as true or false, and the actual frequency of deadlock (the
+// paper's "(*)" table annotations) can be measured.
+//
+// Definition. Under fully adaptive routing a blocked message escapes if
+// ANY of its feasible output virtual channels becomes available (OR
+// semantics). A set S of blocked messages is deadlocked iff it is
+// non-empty and, for every message in S, every feasible output virtual
+// channel is occupied by a message that is itself in S. The largest such
+// set is the greatest fixpoint of the "cannot escape" operator and is
+// computed by iteratively discarding messages with any escape route:
+// a free candidate VC, or a candidate VC held by a message that is
+// advancing, draining (recovering/delivering) or already discarded.
+package deadlock
+
+import (
+	"wormnet/internal/router"
+)
+
+// CandidateFunc enumerates the virtual channels a blocked message may
+// request at the given router, mirroring the active routing algorithm.
+type CandidateFunc func(m *router.Message, node int, buf []router.VCID) []router.VCID
+
+// Oracle computes truly deadlocked message sets over one fabric. It keeps
+// scratch buffers so repeated calls do not allocate.
+type Oracle struct {
+	f       *router.Fabric
+	cands   CandidateFunc
+	inSet   map[router.MsgID]bool
+	blocked []router.MsgID
+	vcBuf   []router.VCID
+	linkBuf []router.LinkID
+}
+
+// New returns an Oracle over fabric f using true fully adaptive candidates
+// (every VC of every minimal physical channel); SetCandidates overrides
+// this for other routing algorithms.
+func New(f *router.Fabric) *Oracle {
+	return &Oracle{f: f, inSet: make(map[router.MsgID]bool)}
+}
+
+// SetCandidates installs the routing algorithm's candidate function.
+func (o *Oracle) SetCandidates(fn CandidateFunc) { o.cands = fn }
+
+// Deadlocked returns the IDs of all messages involved in a true deadlock,
+// in ascending order of discovery. The result slice is reused across calls;
+// callers that retain it must copy.
+func (o *Oracle) Deadlocked() []router.MsgID {
+	f := o.f
+	// Seed: every blocked message (header waiting, at least one failed
+	// routing attempt, not being drained by recovery).
+	o.blocked = o.blocked[:0]
+	for id := range o.inSet {
+		delete(o.inSet, id)
+	}
+	f.LiveMessages(func(m *router.Message) {
+		if m.Phase == router.PhaseNetwork && m.Attempts > 0 &&
+			m.HeadVC != router.NilVC && f.HeaderBlocked(m.HeadVC) {
+			o.blocked = append(o.blocked, m.ID)
+			o.inSet[m.ID] = true
+		}
+	})
+	if len(o.blocked) == 0 {
+		return o.blocked
+	}
+
+	// Greatest fixpoint: repeatedly remove messages with an escape.
+	for changed := true; changed; {
+		changed = false
+		kept := o.blocked[:0]
+		for _, id := range o.blocked {
+			if !o.inSet[id] {
+				continue
+			}
+			if o.canEscape(f.Msg(id)) {
+				delete(o.inSet, id)
+				changed = true
+				continue
+			}
+			kept = append(kept, id)
+		}
+		o.blocked = kept
+	}
+	return o.blocked
+}
+
+// canEscape reports whether message m has at least one feasible output
+// virtual channel that is free or held by a message outside the current
+// candidate set.
+func (o *Oracle) canEscape(m *router.Message) bool {
+	f := o.f
+	node := f.RouterOf(f.LinkOfVC(m.HeadVC))
+	if o.cands != nil {
+		o.vcBuf = o.cands(m, node, o.vcBuf[:0])
+		for _, vc := range o.vcBuf {
+			occ := f.VCs[vc].Occupant
+			if occ == router.NilMsg || !o.inSet[occ] {
+				return true
+			}
+		}
+		return false
+	}
+	o.linkBuf = f.Candidates(node, int(m.Dst), o.linkBuf[:0])
+	for _, l := range o.linkBuf {
+		link := &f.Links[l]
+		for v := int32(0); v < link.NumVC; v++ {
+			occ := f.VCs[link.FirstVC+router.VCID(v)].Occupant
+			if occ == router.NilMsg || !o.inSet[occ] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Contains reports whether id was in the set produced by the most recent
+// Deadlocked call.
+func (o *Oracle) Contains(id router.MsgID) bool { return o.inSet[id] }

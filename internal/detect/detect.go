@@ -1,0 +1,101 @@
+// Package detect implements the distributed deadlock detection mechanisms
+// compared in the paper:
+//
+//   - NDM — the paper's contribution (Section 3): per-output-channel
+//     inactivity counters with two thresholds (t1 setting the I flag, t2
+//     setting the DT flag) plus a per-input-channel Generate/Propagate flag
+//     that confines detection to the message waiting on the root of the
+//     tree of blocked messages.
+//   - PDM — the previous mechanism (Section 2, from Martínez et al.
+//     ICPP'97): a single per-output-channel inactivity threshold; a blocked
+//     message is marked when every feasible output channel has been
+//     inactive past the threshold.
+//   - Crude timeouts — source-age (Reeves et al.), source-stall
+//     (compressionless routing, Kim/Liu/Chien) and header-blocked (Disha)
+//     heuristics, for baseline comparison.
+//
+// All mechanisms are distributed and use only information local to one
+// router, as the paper requires. The simulation engine feeds them routing
+// and flow-control events and a per-cycle transmission bitmap.
+package detect
+
+import (
+	"wormnet/internal/router"
+	"wormnet/internal/topology"
+)
+
+// Detector observes one simulated network and decides which blocked
+// messages to mark as deadlocked. Implementations are not safe for
+// concurrent use; each Engine owns one Detector.
+type Detector interface {
+	// Name identifies the mechanism in reports (e.g. "ndm(t2=32)").
+	Name() string
+
+	// RouteFailed is invoked when message m's header fails a routing
+	// attempt at the router reached through input channel in. outs lists
+	// the feasible output physical channels (all of whose virtual channels
+	// are necessarily busy, or routing would have succeeded). first is true
+	// on the first failed attempt since the header arrived at this router.
+	// It returns true if the mechanism marks m as deadlocked, which
+	// triggers recovery.
+	RouteFailed(m *router.Message, in router.LinkID, outs []router.LinkID, first bool, now int64) bool
+
+	// RouteSucceeded is invoked when a message whose header arrived through
+	// input channel in is successfully routed.
+	RouteSucceeded(m *router.Message, in router.LinkID)
+
+	// VCFreed is invoked when a virtual channel of physical channel l is
+	// released (a tail passed, or recovery released the worm).
+	VCFreed(l router.LinkID)
+
+	// EndCycle is invoked once per cycle after all flit movement. txLinks
+	// lists every physical channel a flit was transmitted across this cycle
+	// (each at most once), and transmitted is the same information as a
+	// bitmap indexed by LinkID.
+	EndCycle(now int64, txLinks []router.LinkID, transmitted []bool)
+}
+
+// None is a Detector that never marks anything. It is used to measure raw
+// network behavior (including unrecovered deadlocks) and as a baseline in
+// tests.
+type None struct{}
+
+// Name implements Detector.
+func (None) Name() string { return "none" }
+
+// RouteFailed implements Detector.
+func (None) RouteFailed(*router.Message, router.LinkID, []router.LinkID, bool, int64) bool {
+	return false
+}
+
+// RouteSucceeded implements Detector.
+func (None) RouteSucceeded(*router.Message, router.LinkID) {}
+
+// VCFreed implements Detector.
+func (None) VCFreed(router.LinkID) {}
+
+// EndCycle implements Detector.
+func (None) EndCycle(int64, []router.LinkID, []bool) {}
+
+// inputLinksByNode precomputes, for every node, the physical channels that
+// can hold message headers at that node's router: the network links arriving
+// from each direction plus the node's injection ports.
+func inputLinksByNode(f *router.Fabric) [][]router.LinkID {
+	t := f.Topo
+	deg := t.Degree()
+	inputs := make([][]router.LinkID, t.Nodes())
+	for x := 0; x < t.Nodes(); x++ {
+		list := make([]router.LinkID, 0, deg+f.Cfg.InjPorts)
+		for d := 0; d < deg; d++ {
+			// The link arriving at x from direction d is the neighbor's
+			// output link in the opposite direction.
+			b := t.Neighbor(x, topology.Direction(d))
+			list = append(list, f.NetLink(b, topology.Direction(d).Opposite()))
+		}
+		for p := 0; p < f.Cfg.InjPorts; p++ {
+			list = append(list, f.InjLink(x, p))
+		}
+		inputs[x] = list
+	}
+	return inputs
+}

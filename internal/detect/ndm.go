@@ -1,0 +1,236 @@
+package detect
+
+import (
+	"fmt"
+
+	"wormnet/internal/router"
+)
+
+// PromotionPolicy selects how a router re-arms detection when an I flag is
+// reset (a message advanced across a previously inactive output channel),
+// the Figure 5 situation: some waiting message must become eligible to
+// detect the next deadlock through the new root.
+type PromotionPolicy uint8
+
+// Promotion policies.
+const (
+	// PromoteAll is the paper's "simple implementation": when any I flag in
+	// a router is reset, every G/P flag in that router currently at P is
+	// changed to G. The paper notes this may slightly increase false
+	// detections relative to a more selective change.
+	PromoteAll PromotionPolicy = iota
+	// PromoteWaiting is the selective variant the paper leaves as future
+	// work: only input channels holding a blocked header that was actually
+	// waiting for the output channel whose I flag was reset are promoted.
+	PromoteWaiting
+)
+
+func (p PromotionPolicy) String() string {
+	if p == PromoteWaiting {
+		return "selective"
+	}
+	return "all"
+}
+
+// NDM is the paper's new deadlock detection mechanism (Section 3).
+//
+// Hardware per physical output channel (Figure 6): an inactivity counter
+// (incremented each cycle the channel is idle while at least one of its
+// virtual channels is occupied, reset when a flit is transmitted) compared
+// against two thresholds, t1 << t2, setting the I and DT flags.
+//
+// Hardware per physical input channel: a one-bit G/P flag. G means the
+// blocked message that last arrived on this channel observed activity on
+// some feasible output — it is waiting on the (possible) root of the tree
+// of blocked messages and is therefore the one that should detect a
+// deadlock. P suppresses detection.
+type NDM struct {
+	f *router.Fabric
+
+	// T1 and T2 are the two thresholds; T1 is 1 cycle in the paper, T2 is
+	// the tunable detection threshold swept in the evaluation.
+	T1, T2 int64
+	// Promotion selects the P->G re-arming policy.
+	Promotion PromotionPolicy
+
+	counter []int64 // per link; only monitored links are maintained
+	iFlag   []bool
+	dtFlag  []bool
+	gp      []bool // true = G, false = P; input-capable links only
+
+	inputs [][]router.LinkID // per node: input channels of its router
+
+	candBuf []router.LinkID // scratch for selective promotion
+}
+
+// NewNDM builds the mechanism over fabric f with the paper's t1 = 1 and the
+// given t2 threshold.
+func NewNDM(f *router.Fabric, t2 int64) *NDM {
+	return NewNDMOpt(f, 1, t2, PromoteAll)
+}
+
+// NewNDMOpt builds the mechanism with explicit thresholds and promotion
+// policy.
+func NewNDMOpt(f *router.Fabric, t1, t2 int64, promotion PromotionPolicy) *NDM {
+	if t1 < 1 || t2 < t1 {
+		panic("detect: NDM requires 1 <= t1 <= t2")
+	}
+	n := f.NumLinks()
+	return &NDM{
+		f:         f,
+		T1:        t1,
+		T2:        t2,
+		Promotion: promotion,
+		counter:   make([]int64, n),
+		iFlag:     make([]bool, n),
+		dtFlag:    make([]bool, n),
+		gp:        make([]bool, n),
+		inputs:    inputLinksByNode(f),
+	}
+}
+
+// Name implements Detector.
+func (d *NDM) Name() string {
+	if d.Promotion == PromoteAll && d.T1 == 1 {
+		return fmt.Sprintf("ndm(t2=%d)", d.T2)
+	}
+	return fmt.Sprintf("ndm(t1=%d,t2=%d,promote=%s)", d.T1, d.T2, d.Promotion)
+}
+
+// IFlagSet reports the I flag of link l (exported for tests and scenario
+// reconstruction).
+func (d *NDM) IFlagSet(l router.LinkID) bool { return d.iFlag[l] }
+
+// DTFlagSet reports the DT flag of link l.
+func (d *NDM) DTFlagSet(l router.LinkID) bool { return d.dtFlag[l] }
+
+// GPIsGenerate reports whether input channel l currently holds G.
+func (d *NDM) GPIsGenerate(l router.LinkID) bool { return d.gp[l] }
+
+// RouteFailed implements Detector.
+func (d *NDM) RouteFailed(m *router.Message, in router.LinkID, outs []router.LinkID, first bool, now int64) bool {
+	if first {
+		// First unsuccessful attempt: decide whether this message is the
+		// first of a branch in the tree of blocked messages.
+		if !d.f.AllVCsBusy(in) {
+			// Some VC of the input channel is still free: this message is
+			// not the latest arrival and cannot close a cycle yet.
+			d.gp[in] = false
+			return false
+		}
+		for _, o := range outs {
+			if !d.iFlag[o] {
+				// Some requested channel is still active: the advancing
+				// message could be the root of the tree. If it later
+				// blocks, this message must detect.
+				d.gp[in] = true
+				return false
+			}
+		}
+		// Every requested channel is already inactive: some other message
+		// blocked first and owns detection.
+		d.gp[in] = false
+		return false
+	}
+
+	// Successive attempts: detect only if the long-term threshold has been
+	// exceeded on every feasible output and this message is a branch head.
+	if !d.gp[in] {
+		return false
+	}
+	for _, o := range outs {
+		if !d.dtFlag[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// RouteSucceeded implements Detector. A message that was occupying the
+// input channel routes: the last arrival on that channel is no longer
+// waiting on the root, so the flag returns to P.
+func (d *NDM) RouteSucceeded(_ *router.Message, in router.LinkID) {
+	d.gp[in] = false
+}
+
+// VCFreed implements Detector. Freeing a virtual channel of an input
+// physical channel resets its G/P flag to P, exactly like a successful
+// routing.
+func (d *NDM) VCFreed(l router.LinkID) {
+	d.gp[l] = false
+}
+
+// EndCycle implements Detector: the counter/flag hardware of Figure 6.
+//
+// Transmitted channels reset their counter and flags; occupied idle
+// channels count up; completely empty channels freeze — their flags are NOT
+// cleared, because per Figure 6 they reset only on transmission. The freeze
+// is what makes the Figure 5 case work: a stale I flag left by a drained
+// message is reset by the first flit of the next message to use the
+// channel, and that reset promotes the messages waiting on it from P to G.
+func (d *NDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
+	for _, id := range txLinks {
+		l := int(id)
+		if d.iFlag[l] {
+			// An I flag is being reset because a message advanced: re-arm
+			// waiting messages in this router (Figure 5).
+			d.promote(id)
+		}
+		d.counter[l] = 0
+		d.iFlag[l] = false
+		d.dtFlag[l] = false
+	}
+	// The counter is "only incremented if at least one virtual channel is
+	// occupied": visiting the busy links covers every counting channel.
+	for _, id := range d.f.BusyLinks() {
+		l := int(id)
+		if transmitted[l] || !d.f.IsMonitored(id) {
+			continue // just reset, or an injection link with no counter
+		}
+		d.counter[l]++
+		if d.counter[l] > d.T1 {
+			d.iFlag[l] = true
+		}
+		if d.counter[l] > d.T2 {
+			d.dtFlag[l] = true
+		}
+	}
+}
+
+// promote re-arms G/P flags in the router owning output channel out after
+// its I flag was reset.
+func (d *NDM) promote(out router.LinkID) {
+	node := int(d.f.Links[out].Src)
+	if node < 0 {
+		return
+	}
+	for _, in := range d.inputs[node] {
+		if d.gp[in] {
+			continue // already G
+		}
+		if d.Promotion == PromoteWaiting && !d.waitingOn(in, out, node) {
+			continue
+		}
+		d.gp[in] = true
+	}
+}
+
+// waitingOn reports whether input channel in holds a blocked header whose
+// feasible outputs at node include out.
+func (d *NDM) waitingOn(in, out router.LinkID, node int) bool {
+	link := &d.f.Links[in]
+	for v := int32(0); v < link.NumVC; v++ {
+		vc := link.FirstVC + router.VCID(v)
+		if !d.f.HeaderBlocked(vc) {
+			continue
+		}
+		m := d.f.Msg(d.f.VCs[vc].Occupant)
+		d.candBuf = d.f.Candidates(node, int(m.Dst), d.candBuf[:0])
+		for _, c := range d.candBuf {
+			if c == out {
+				return true
+			}
+		}
+	}
+	return false
+}

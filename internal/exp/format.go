@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// formatPct renders a percentage the way the paper's tables do: three
+// significant-ish digits, ".000"-style for small values.
+func formatPct(p float64) string {
+	switch {
+	case p == 0:
+		return ".000"
+	case p < 0.9995:
+		return strings.TrimPrefix(fmt.Sprintf("%.3f", p), "0")
+	case p < 9.995:
+		return fmt.Sprintf("%.2f", p)
+	case p < 99.95:
+		return fmt.Sprintf("%.1f", p)
+	default:
+		return fmt.Sprintf("%.0f", p)
+	}
+}
+
+// Format renders the result as a text table in the paper's layout: one row
+// per threshold, one column group per injection rate with one column per
+// message size.
+func (r *Result) Format(w io.Writer) {
+	tbl := r.Table
+	fmt.Fprintf(w, "Table %d. Percentage of messages detected as possibly deadlocked (%s, %s traffic, %d-ary %d-cube).\n",
+		tbl.ID, tbl.Mechanism, tbl.PatternName, r.Options.K, r.Options.N)
+	fmt.Fprintf(w, "(*) marks cells in which actual deadlocks were detected.\n\n")
+
+	colw := 8
+	// Header line 1: injection rates.
+	fmt.Fprintf(w, "%-8s", "")
+	for ri, rate := range r.Rates {
+		label := fmt.Sprintf("%.4g", rate)
+		if ri == len(r.Rates)-1 {
+			label += " (sat)"
+		}
+		width := colw * len(tbl.Sizes)
+		fmt.Fprintf(w, "|%-*s", width-1, center(label, width-1))
+	}
+	fmt.Fprintln(w)
+	// Header line 2: sizes.
+	fmt.Fprintf(w, "%-8s", "M. Size")
+	for range r.Rates {
+		for _, s := range tbl.Sizes {
+			fmt.Fprintf(w, "|%*s", colw-1, s.Key)
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 8+len(r.Rates)*len(tbl.Sizes)*colw))
+
+	for ti, th := range tbl.Thresholds {
+		fmt.Fprintf(w, "Th %-5d", th)
+		for ri := range r.Rates {
+			for si := range tbl.Sizes {
+				c := r.Cells[ti][ri][si]
+				v := formatPct(c.Pct)
+				if c.TrueDeadlock {
+					v += "*"
+				}
+				fmt.Fprintf(w, "|%*s", colw-1, v)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// SummaryRow returns the worst (largest) percentage in the row for the
+// given threshold, useful for headline comparisons such as "a threshold of
+// 32 keeps false detection under 0.16% in the worst case".
+func (r *Result) SummaryRow(threshold int64) (worst float64, ok bool) {
+	for ti, th := range r.Table.Thresholds {
+		if th != threshold {
+			continue
+		}
+		for ri := range r.Cells[ti] {
+			for si := range r.Cells[ti][ri] {
+				if p := r.Cells[ti][ri][si].Pct; p > worst {
+					worst = p
+				}
+			}
+		}
+		return worst, true
+	}
+	return 0, false
+}
+
+// Cell returns the measured cell for (threshold, rateIndex, sizeKey).
+func (r *Result) Cell(threshold int64, rateIdx int, sizeKey string) (Cell, bool) {
+	for ti, th := range r.Table.Thresholds {
+		if th != threshold {
+			continue
+		}
+		for si, s := range r.Table.Sizes {
+			if s.Key == sizeKey {
+				return r.Cells[ti][rateIdx][si], true
+			}
+		}
+	}
+	return Cell{}, false
+}

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonResult is the serialized form of a measured table: enough to re-render
+// or post-process without re-running the sweep.
+type jsonResult struct {
+	Table       int        `json:"table"`
+	Mechanism   Mechanism  `json:"mechanism"`
+	PatternName string     `json:"pattern"`
+	K           int        `json:"k"`
+	N           int        `json:"n"`
+	Warmup      int64      `json:"warmup"`
+	Measure     int64      `json:"measure"`
+	Seed        uint64     `json:"seed"`
+	Relative    bool       `json:"relativeRates"`
+	Rates       []float64  `json:"rates"`
+	Thresholds  []int64    `json:"thresholds"`
+	Sizes       []string   `json:"sizes"`
+	Cells       [][][]Cell `json:"cells"`
+}
+
+// EncodeJSON writes the result as JSON.
+func (r *Result) EncodeJSON(w io.Writer) error {
+	sizes := make([]string, len(r.Table.Sizes))
+	for i, s := range r.Table.Sizes {
+		sizes[i] = s.Key
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonResult{
+		Table:       r.Table.ID,
+		Mechanism:   r.Table.Mechanism,
+		PatternName: r.Table.PatternName,
+		K:           r.Options.K,
+		N:           r.Options.N,
+		Warmup:      r.Options.Warmup,
+		Measure:     r.Options.Measure,
+		Seed:        r.Options.Seed,
+		Relative:    r.Options.RelativeRates,
+		Rates:       r.Rates,
+		Thresholds:  r.Table.Thresholds,
+		Sizes:       sizes,
+		Cells:       r.Cells,
+	})
+}
+
+// DecodeJSON reads a result previously written by EncodeJSON. The restored
+// Result supports formatting and cell lookup (its Table spec is rebuilt
+// from the paper's specification for the table ID).
+func DecodeJSON(r io.Reader) (*Result, error) {
+	var jr jsonResult
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, err
+	}
+	tbl, err := PaperTable(jr.Table)
+	if err != nil {
+		return nil, err
+	}
+	tbl.Thresholds = jr.Thresholds
+	// Restore the size columns actually present.
+	var sizes []Size
+	for _, key := range jr.Sizes {
+		switch key {
+		case "s":
+			sizes = append(sizes, SizeS)
+		case "l":
+			sizes = append(sizes, SizeL)
+		case "L":
+			sizes = append(sizes, SizeLL)
+		case "sl":
+			sizes = append(sizes, SizeSL)
+		default:
+			return nil, fmt.Errorf("exp: unknown size key %q", key)
+		}
+	}
+	tbl.Sizes = sizes
+	opt := Options{
+		K: jr.K, N: jr.N,
+		Warmup: jr.Warmup, Measure: jr.Measure,
+		Seed: jr.Seed, RelativeRates: jr.Relative,
+	}
+	return &Result{Table: tbl, Options: opt, Rates: jr.Rates, Cells: jr.Cells}, nil
+}

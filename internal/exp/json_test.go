@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyResult(t *testing.T) *Result {
+	t.Helper()
+	tbl, _ := PaperTable(2)
+	tbl.Thresholds = []int64{4, 32}
+	tbl.Sizes = []Size{SizeS, SizeSL}
+	tbl.Rates = []float64{0.3, 0.6}
+	opt := DefaultOptions()
+	opt.K, opt.N = 4, 2
+	opt.Warmup, opt.Measure = 200, 1000
+	res, err := Run(tbl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	res := tinyResult(t)
+	var buf bytes.Buffer
+	if err := res.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Table.ID != 2 || back.Options.K != 4 {
+		t.Errorf("metadata lost: %+v", back.Options)
+	}
+	if len(back.Cells) != len(res.Cells) {
+		t.Fatal("cells lost")
+	}
+	for ti := range res.Cells {
+		for ri := range res.Cells[ti] {
+			for si := range res.Cells[ti][ri] {
+				if back.Cells[ti][ri][si] != res.Cells[ti][ri][si] {
+					t.Fatalf("cell %d/%d/%d differs", ti, ri, si)
+				}
+			}
+		}
+	}
+	// The restored result renders identically.
+	var a, b bytes.Buffer
+	res.Format(&a)
+	back.Format(&b)
+	if a.String() != b.String() {
+		t.Error("restored result renders differently")
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	if _, err := DecodeJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"table":9}`)); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := DecodeJSON(strings.NewReader(`{"table":2,"sizes":["x"]}`)); err == nil {
+		t.Error("unknown size accepted")
+	}
+}

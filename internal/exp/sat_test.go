@@ -1,0 +1,26 @@
+package exp
+
+import "testing"
+
+// TestSaturationFullScale measures the saturation (offered-load tracking
+// boundary) of the 512-node 8-ary 3-cube for every pattern in the paper's
+// evaluation and compares against the paper's saturated injection rates.
+// It is long-running; skipped in -short mode.
+func TestSaturationFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale saturation sweep")
+	}
+	opt := DefaultOptions()
+	opt.Warmup, opt.Measure = 2000, 8000
+	for _, tbl := range PaperTables()[1:] {
+		sat, err := EstimateSaturation(tbl.Pattern, SizeS.Dist, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper := tbl.Rates[len(tbl.Rates)-1]
+		t.Logf("pattern %-16s saturation %.4f flits/cycle/node (paper: %.4f)", tbl.PatternName, sat, paper)
+		if sat <= 0 {
+			t.Errorf("%s: zero saturation estimate", tbl.PatternName)
+		}
+	}
+}

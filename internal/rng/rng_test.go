@@ -1,0 +1,215 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values in 100 draws", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split stream matched parent %d times", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := s.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	s := New(11)
+	const n, draws = 10, 100_000
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	for i := 0; i < 100_000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / 100_000; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean %.4f too far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(9)
+	hits := 0
+	const draws = 100_000
+	for i := 0; i < draws; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency %.4f", got)
+	}
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	if s.Bool(-1) {
+		t.Error("Bool(-1) returned true")
+	}
+	if !s.Bool(2) {
+		t.Error("Bool(2) returned false")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	for n := 0; n <= 20; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(17)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	wantSum := 0
+	for _, v := range orig {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("shuffle altered elements: %v", xs)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(19)
+	const draws = 200_000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := s.Exp(10)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-10) > 0.2 {
+		t.Errorf("Exp(10) mean %.3f", mean)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(23)
+	const p, draws = 0.25, 200_000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	want := (1 - p) / p // mean of geometric on {0,1,...}
+	if mean := sum / draws; math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric(%.2f) mean %.3f, want about %.3f", p, mean, want)
+	}
+	if v := s.Geometric(1); v != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", v)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(17)
+	}
+}

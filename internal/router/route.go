@@ -1,0 +1,145 @@
+package router
+
+import (
+	"wormnet/internal/rng"
+	"wormnet/internal/topology"
+)
+
+// Candidates appends to buf the feasible output physical channels for a
+// message headed to dst whose header sits at router node, and returns the
+// extended slice. Under true fully adaptive minimal routing these are the
+// network links in every minimal direction, or the delivery ports once the
+// message has reached its destination.
+func (f *Fabric) Candidates(node, dst int, buf []LinkID) []LinkID {
+	if node == dst {
+		for p := 0; p < f.Cfg.DelPorts; p++ {
+			buf = append(buf, f.DelLink(node, p))
+		}
+		return buf
+	}
+	var dirs [16]topology.Direction
+	for _, d := range f.Topo.MinimalDirections(node, dst, dirs[:0]) {
+		buf = append(buf, f.NetLink(node, d))
+	}
+	return buf
+}
+
+// SelectPolicy chooses among free candidate virtual channels when a header
+// routes. The paper does not prescribe a selection function for its true
+// fully adaptive router; the policy is configurable so its influence can be
+// measured.
+type SelectPolicy uint8
+
+// Selection policies.
+const (
+	// SelectRandom picks uniformly among all free VCs of all feasible
+	// output channels. This is the default; it spreads load across virtual
+	// channels the way the paper's "all VCs used in the same way"
+	// assumption expects.
+	SelectRandom SelectPolicy = iota
+	// SelectFirst picks the first free VC in candidate order
+	// (deterministic; useful in tests and scenario reconstruction).
+	SelectFirst
+	// SelectLeastBusy picks a free VC on the candidate physical channel
+	// with the fewest busy VCs, breaking ties by candidate order.
+	SelectLeastBusy
+)
+
+// PickVC selects a free virtual channel among the explicit VC candidates
+// according to the policy, returning NilVC when all are busy. It is the
+// VC-granular variant of PickOutput used by routing algorithms that
+// restrict which virtual channels a message may take.
+func (f *Fabric) PickVC(cands []VCID, pol SelectPolicy, r *rng.Source) VCID {
+	switch pol {
+	case SelectFirst:
+		for _, vc := range cands {
+			if f.VCs[vc].Occupant == NilMsg {
+				return vc
+			}
+		}
+		return NilVC
+
+	case SelectLeastBusy:
+		best := NilVC
+		bestBusy := int(^uint(0) >> 1)
+		for _, vc := range cands {
+			if f.VCs[vc].Occupant != NilMsg {
+				continue
+			}
+			if busy := f.BusyVCs(f.VCs[vc].Link); busy < bestBusy {
+				best, bestBusy = vc, busy
+			}
+		}
+		return best
+
+	default: // SelectRandom
+		chosen := NilVC
+		count := 0
+		for _, vc := range cands {
+			if f.VCs[vc].Occupant != NilMsg {
+				continue
+			}
+			count++
+			if r == nil {
+				if chosen == NilVC {
+					chosen = vc
+				}
+			} else if r.Intn(count) == 0 {
+				chosen = vc
+			}
+		}
+		return chosen
+	}
+}
+
+// PickOutput selects a free virtual channel among the candidate physical
+// channels according to the policy. It returns NilVC if every candidate VC
+// is busy.
+func (f *Fabric) PickOutput(cands []LinkID, pol SelectPolicy, r *rng.Source) VCID {
+	switch pol {
+	case SelectFirst:
+		for _, l := range cands {
+			if vc := f.FreeVC(l); vc != NilVC {
+				return vc
+			}
+		}
+		return NilVC
+
+	case SelectLeastBusy:
+		best := NilVC
+		bestBusy := int(^uint(0) >> 1)
+		for _, l := range cands {
+			vc := f.FreeVC(l)
+			if vc == NilVC {
+				continue
+			}
+			if busy := f.BusyVCs(l); busy < bestBusy {
+				best, bestBusy = vc, busy
+			}
+		}
+		return best
+
+	default: // SelectRandom
+		// Reservoir-sample uniformly over all free VCs.
+		chosen := NilVC
+		count := 0
+		for _, l := range cands {
+			link := &f.Links[l]
+			for v := VCID(0); v < VCID(link.NumVC); v++ {
+				id := link.FirstVC + v
+				if f.VCs[id].Occupant != NilMsg {
+					continue
+				}
+				count++
+				if r == nil {
+					if chosen == NilVC {
+						chosen = id
+					}
+				} else if r.Intn(count) == 0 {
+					chosen = id
+				}
+			}
+		}
+		return chosen
+	}
+}

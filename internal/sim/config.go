@@ -1,0 +1,159 @@
+// Package sim is the cycle-driven simulation engine that drives the router
+// fabric, the traffic workload, the deadlock detection mechanism under test
+// and the recovery engine, and accumulates the statistics the paper
+// reports.
+//
+// Timing model (paper Section 4.1): routing takes one cycle (an output
+// assigned in cycle T carries its first flit in cycle T+1) and crossbar plus
+// channel transmission take one cycle per flit per hop; one flit crosses
+// each physical channel per cycle, and one flit leaves each input physical
+// channel per cycle (the crossbar port constraint).
+package sim
+
+import (
+	"fmt"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/recovery"
+	"wormnet/internal/router"
+	"wormnet/internal/routing"
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// PatternFactory builds a traffic pattern once the topology exists.
+type PatternFactory func(*topology.Torus) traffic.Pattern
+
+// DetectorFactory builds the detection mechanism once the fabric exists.
+type DetectorFactory func(*router.Fabric) detect.Detector
+
+// ProcessFactory builds a custom injection process once the topology
+// exists, overriding the default Bernoulli process.
+type ProcessFactory func(*topology.Torus) traffic.Process
+
+// Config fully describes one simulation run.
+type Config struct {
+	// K and N select the k-ary n-cube (the paper uses K=8, N=3).
+	K, N int
+
+	// Router holds the fabric parameters (VCs per channel, buffer depth,
+	// injection/delivery ports).
+	Router router.Config
+
+	// Pattern and Lengths define the workload; Load is the offered traffic
+	// in flits/cycle/node.
+	Pattern PatternFactory
+	Lengths traffic.LengthDist
+	Load    float64
+
+	// Process, when non-nil, replaces the default Bernoulli injection
+	// process built from Pattern, Lengths and Load (e.g. a bursty source
+	// model). Pattern, Lengths and Load are then ignored for generation.
+	Process ProcessFactory
+
+	// Routing selects the routing algorithm; nil means the paper's true
+	// fully adaptive routing. Deadlock detection requires an algorithm
+	// that uses all virtual channels uniformly (only true fully adaptive
+	// qualifies), because the detection hardware monitors physical
+	// channels.
+	Routing routing.Algorithm
+
+	// Detector builds the detection mechanism under test. Nil means no
+	// detection (and therefore no recovery).
+	Detector DetectorFactory
+
+	// Recovery selects how marked messages are removed from the network.
+	Recovery recovery.Style
+
+	// Select is the virtual-channel selection policy for adaptive routing.
+	Select router.SelectPolicy
+
+	// InjectionLimit is the injection-limitation threshold of López &
+	// Duato: a new message may enter only while the number of busy virtual
+	// channels among the node's network output channels is at most this
+	// value. Negative disables the mechanism.
+	InjectionLimit int
+
+	// MaxSourceQueue bounds each node's source queue; while full, message
+	// generation at that node pauses. Zero selects the default (16).
+	MaxSourceQueue int
+
+	// Warmup and Measure are the lengths, in cycles, of the warm-up and
+	// measurement phases.
+	Warmup, Measure int64
+
+	// OracleEvery, when positive, runs the global deadlock oracle every
+	// that many cycles to measure actual deadlock frequency. The oracle
+	// always runs on the cycles where messages are marked, to classify the
+	// detection as true or false.
+	OracleEvery int64
+
+	// Seed makes the run reproducible.
+	Seed uint64
+
+	// Debug enables per-cycle fabric invariant checking (slow).
+	Debug bool
+
+	// RetainMessages keeps delivered messages allocated instead of
+	// recycling them into the pool, so tests and tools can inspect their
+	// final state (Phase, DeliverTime). Long measurement runs should leave
+	// this off.
+	RetainMessages bool
+}
+
+// DefaultConfig returns the paper's baseline configuration: an 8-ary 3-cube
+// with the default router, uniform traffic, 16-flit messages, NDM detection
+// with threshold 32, progressive recovery, and the injection-limitation
+// mechanism enabled.
+func DefaultConfig() Config {
+	return Config{
+		K:      8,
+		N:      3,
+		Router: router.DefaultConfig(),
+		Pattern: func(t *topology.Torus) traffic.Pattern {
+			return traffic.NewUniform(t)
+		},
+		Lengths: traffic.Fixed(16),
+		Load:    0.2,
+		Detector: func(f *router.Fabric) detect.Detector {
+			return detect.NewNDM(f, 32)
+		},
+		Recovery:       recovery.Progressive,
+		Select:         router.SelectRandom,
+		InjectionLimit: 6,
+		MaxSourceQueue: 16,
+		Warmup:         10_000,
+		Measure:        50_000,
+		Seed:           1,
+	}
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.K < 2 || c.N < 1:
+		return fmt.Errorf("sim: invalid topology %d-ary %d-cube", c.K, c.N)
+	case c.Process == nil && c.Pattern == nil:
+		return fmt.Errorf("sim: Pattern is required")
+	case c.Process == nil && c.Lengths == nil:
+		return fmt.Errorf("sim: Lengths is required")
+	case c.Load < 0:
+		return fmt.Errorf("sim: negative Load")
+	case c.Warmup < 0 || c.Measure <= 0:
+		return fmt.Errorf("sim: Warmup must be >= 0 and Measure > 0")
+	}
+	if c.MaxSourceQueue == 0 {
+		c.MaxSourceQueue = 16
+	}
+	if c.Routing == nil {
+		c.Routing = routing.TrueFullyAdaptive{}
+	}
+	if c.Router.VCsPerLink < c.Routing.MinVCs() {
+		return fmt.Errorf("sim: %s requires at least %d virtual channels, got %d",
+			c.Routing.Name(), c.Routing.MinVCs(), c.Router.VCsPerLink)
+	}
+	if c.Detector != nil && !c.Routing.UniformVCs() {
+		return fmt.Errorf("sim: detection monitors physical channels and requires a routing algorithm that uses all virtual channels uniformly; %s does not (disable detection: it is deadlock-free by construction)",
+			c.Routing.Name())
+	}
+	return nil
+}

@@ -1,0 +1,619 @@
+package sim
+
+import (
+	"fmt"
+
+	"wormnet/internal/deadlock"
+	"wormnet/internal/detect"
+	"wormnet/internal/recovery"
+	"wormnet/internal/rng"
+	"wormnet/internal/router"
+	"wormnet/internal/routing"
+	"wormnet/internal/stats"
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// Result is what one simulation run produces.
+type Result struct {
+	stats.Counters
+	// Detector names the mechanism that was active.
+	Detector string
+	// TotalCycles includes warm-up.
+	TotalCycles int64
+	// LatencyHist is the generation-to-delivery latency distribution over
+	// delivered messages in the measurement window.
+	LatencyHist *stats.Histogram
+	// DetectDelayHist is the distribution of detection delay — cycles from
+	// a message's first failed routing attempt at its final node to the
+	// moment it was marked as deadlocked.
+	DetectDelayHist *stats.Histogram
+}
+
+// Engine simulates one network, cycle by cycle. Build one with New, then
+// call Run (or Step repeatedly for fine-grained control).
+type Engine struct {
+	cfg    Config
+	topo   *topology.Torus
+	fab    *router.Fabric
+	det    detect.Detector
+	oracle *deadlock.Oracle
+	rec    *recovery.Engine
+	rnd    *rng.Source
+	gen    traffic.Process
+	alg    routing.Algorithm
+
+	now       int64
+	measuring bool
+	st        stats.Counters
+	latHist   *stats.Histogram
+	delayHist *stats.Histogram
+
+	// Per-node FIFO source queues of messages waiting for an injection
+	// port (both freshly generated and recovered messages).
+	queues [][]router.MsgID
+	// Messages whose source is still pushing flits into an injection port.
+	injecting []router.MsgID
+	// Messages whose header is waiting to be routed. Headers that arrived
+	// (or were injected) during cycle T enter pendingNew and become
+	// routable in cycle T+1, charging the paper's 1-cycle routing delay.
+	pending    []router.MsgID
+	pendingNew []router.MsgID
+
+	// Per-cycle scratch state.
+	transmitted    []bool          // flit crossed link l this cycle
+	txLinks        []router.LinkID // links with transmitted set this cycle
+	flitsAtStart   []int32         // VC occupancy snapshot for simultaneous transfer
+	feeders        [][]router.VCID // per target link: VCs requesting to send
+	activeLinks    []router.LinkID // links with feeders this cycle
+	inputUsedAt    []int64         // cycle stamp: input channel already sent a flit
+	candBuf        []router.LinkID
+	vcCandBuf      []router.VCID
+	deliveryVCs    []router.VCID
+	marksThisCycle int
+	oracleCycle    int64 // last cycle the oracle ran (-1 = never)
+	oracleSize     int   // size of the most recent oracle deadlock set
+}
+
+// New builds an Engine from cfg. The configuration is validated; defaults
+// are filled in for zero-valued optional fields.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topo := topology.New(cfg.K, cfg.N)
+	fab, err := router.NewFabric(topo, cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		topo:        topo,
+		fab:         fab,
+		oracle:      deadlock.New(fab),
+		rnd:         rng.New(cfg.Seed),
+		oracleCycle: -1,
+		latHist:     stats.NewHistogram(1.25),
+		delayHist:   stats.NewHistogram(1.25),
+		alg:         cfg.Routing,
+	}
+	e.oracle.SetCandidates(func(m *router.Message, node int, buf []router.VCID) []router.VCID {
+		return e.alg.Candidates(fab, m, node, buf)
+	})
+	if cfg.Detector != nil {
+		e.det = cfg.Detector(fab)
+	} else {
+		e.det = detect.None{}
+	}
+	e.rec = recovery.New(fab, cfg.Recovery, recovery.Hooks{
+		VCFreed:   func(l router.LinkID) { e.det.VCFreed(l) },
+		Recovered: e.onRecovered,
+	})
+	if cfg.Process != nil {
+		e.gen = cfg.Process(topo)
+	} else {
+		e.gen = traffic.NewGenerator(cfg.Pattern(topo), cfg.Lengths, cfg.Load)
+	}
+	e.queues = make([][]router.MsgID, topo.Nodes())
+	e.transmitted = make([]bool, fab.NumLinks())
+	e.flitsAtStart = make([]int32, len(fab.VCs))
+	e.feeders = make([][]router.VCID, fab.NumLinks())
+	e.inputUsedAt = make([]int64, fab.NumLinks())
+	for i := range e.inputUsedAt {
+		e.inputUsedAt[i] = -1
+	}
+	for node := 0; node < topo.Nodes(); node++ {
+		for p := 0; p < cfg.Router.DelPorts; p++ {
+			l := fab.DelLink(node, p)
+			e.deliveryVCs = append(e.deliveryVCs, fab.Links[l].FirstVC)
+		}
+	}
+	e.st.Nodes = topo.Nodes()
+	return e, nil
+}
+
+// Fabric exposes the underlying fabric (for tests and tools).
+func (e *Engine) Fabric() *router.Fabric { return e.fab }
+
+// Topology exposes the topology.
+func (e *Engine) Topology() *topology.Torus { return e.topo }
+
+// Detector exposes the active detection mechanism.
+func (e *Engine) Detector() detect.Detector { return e.det }
+
+// Now returns the current cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// Stats returns the counters accumulated so far in the measurement window.
+func (e *Engine) Stats() *stats.Counters { return &e.st }
+
+// LatencyHistogram returns the generation-to-delivery latency distribution
+// accumulated so far in the measurement window.
+func (e *Engine) LatencyHistogram() *stats.Histogram { return e.latHist }
+
+// FailLink injects a fault: physical channel l is taken out of service and
+// every worm currently holding one of its virtual channels is killed and
+// re-queued at its source (the standard abort-and-retry response to a
+// failed channel). Routing algorithms stop proposing the channel; with
+// adaptive routing, traffic flows around it as long as alternative minimal
+// paths exist.
+func (e *Engine) FailLink(l router.LinkID) {
+	e.fab.FailLink(l)
+	for _, id := range e.fab.OccupantsOf(l) {
+		m := e.fab.Msg(id)
+		if m.Phase != router.PhaseNetwork && m.Phase != router.PhaseRecovering {
+			continue
+		}
+		for _, vc := range e.fab.ReleaseWorm(m) {
+			e.det.VCFreed(e.fab.LinkOfVC(vc))
+		}
+		m.Phase = router.PhaseAborted
+		if e.measuring {
+			e.st.KilledByFault++
+		}
+		e.requeue(m, int(m.Src))
+	}
+	if e.measuring {
+		e.st.LinkFailures++
+	}
+}
+
+// RepairLink returns a failed channel to service.
+func (e *Engine) RepairLink(l router.LinkID) { e.fab.RepairLink(l) }
+
+// InjectMessage enqueues a message at node src's source queue, bypassing
+// the random generator. Combined with Load = 0 it gives deterministic,
+// hand-scripted workloads (used by tests and teaching examples).
+func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
+	m := e.fab.NewMessage(src, dst, length, e.now)
+	m.Phase = router.PhaseQueued
+	e.queues[src] = append(e.queues[src], m.ID)
+	if e.measuring {
+		e.st.Generated++
+	}
+	return m
+}
+
+// Run executes the configured warm-up and measurement phases and returns
+// the result.
+func (e *Engine) Run() (*Result, error) {
+	total := e.cfg.Warmup + e.cfg.Measure
+	for e.now < total {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	e.st.Cycles = e.cfg.Measure
+	return &Result{
+		Counters:        e.st,
+		Detector:        e.det.Name(),
+		TotalCycles:     total,
+		LatencyHist:     e.latHist,
+		DetectDelayHist: e.delayHist,
+	}, nil
+}
+
+// Step advances the simulation by one cycle.
+func (e *Engine) Step() error {
+	e.measuring = e.now >= e.cfg.Warmup && e.now < e.cfg.Warmup+e.cfg.Measure
+	e.marksThisCycle = 0
+
+	// Headers that arrived last cycle become routable now (routing takes
+	// one cycle).
+	e.pending = append(e.pending, e.pendingNew...)
+	e.pendingNew = e.pendingNew[:0]
+
+	e.generate()
+	e.admit()
+	e.transfer()
+	e.drainDelivery()
+	e.det.EndCycle(e.now, e.txLinks, e.transmitted)
+	e.route()
+	e.feedSources()
+	e.rec.Step()
+
+	if e.cfg.OracleEvery > 0 && e.now%e.cfg.OracleEvery == 0 {
+		e.runOracle()
+		if e.measuring {
+			e.st.OracleRuns++
+			if n := e.oracleSize; n > 0 {
+				e.st.DeadlockCycles++
+				e.st.DeadlockedMsgSum += int64(n)
+				if n > e.st.MaxDeadlockSet {
+					e.st.MaxDeadlockSet = n
+				}
+			}
+		}
+	}
+	if e.measuring {
+		e.st.RecordMarks(e.marksThisCycle)
+	}
+
+	if e.cfg.Debug {
+		if err := e.fab.CheckInvariants(); err != nil {
+			return fmt.Errorf("cycle %d: %w", e.now, err)
+		}
+	}
+	e.now++
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: message generation.
+
+func (e *Engine) generate() {
+	for node := 0; node < e.topo.Nodes(); node++ {
+		if len(e.queues[node]) >= e.cfg.MaxSourceQueue {
+			// Source queue full: generation pauses at this node (offered
+			// load is capped, which is inevitable beyond saturation).
+			continue
+		}
+		dst, length, ok := e.gen.Next(node, e.rnd)
+		if !ok {
+			continue
+		}
+		m := e.fab.NewMessage(node, dst, length, e.now)
+		m.Phase = router.PhaseQueued
+		e.queues[node] = append(e.queues[node], m.ID)
+		if e.measuring {
+			e.st.Generated++
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: injection admission (with the injection-limitation mechanism).
+
+func (e *Engine) admit() {
+	limit := e.cfg.InjectionLimit
+	for node := 0; node < e.topo.Nodes(); node++ {
+		q := e.queues[node]
+		if len(q) == 0 {
+			continue
+		}
+		if limit >= 0 && e.fab.BusyNetOutputVCs(node) > limit {
+			continue
+		}
+		for p := 0; p < e.cfg.Router.InjPorts && len(q) > 0; p++ {
+			l := e.fab.InjLink(node, p)
+			vc := e.fab.FreeVC(l)
+			if vc == router.NilVC {
+				continue
+			}
+			m := e.fab.Msg(q[0])
+			q = q[1:]
+			m.Phase = router.PhaseNetwork
+			m.InjLink = l
+			m.InjectTime = e.now
+			m.LastSourceFlit = e.now
+			e.fab.Allocate(m, router.NilVC, vc)
+			m.HeadVC = vc
+			e.injecting = append(e.injecting, m.ID)
+			if e.measuring {
+				e.st.Injected++
+			}
+		}
+		e.queues[node] = q
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: flit transfer (crossbar + channel).
+//
+// All moves are decided against a start-of-cycle snapshot of buffer
+// occupancy, so a flit advances at most one hop per cycle and flow control
+// is credit-exact. Constraints: at most one flit crosses each physical
+// channel per cycle (channel bandwidth), and at most one flit leaves each
+// input physical channel per cycle (crossbar port).
+
+func (e *Engine) transfer() {
+	fab := e.fab
+	vcs := fab.VCs
+	for _, l := range e.txLinks {
+		e.transmitted[l] = false
+	}
+	e.txLinks = e.txLinks[:0]
+	// Snapshot occupancy and collect transfer requests grouped by target
+	// physical channel. Only occupied VCs can hold or receive flits, so
+	// iterating the occupied list suffices.
+	e.activeLinks = e.activeLinks[:0]
+	for _, i := range fab.Occupied() {
+		e.flitsAtStart[i] = vcs[i].Flits
+		if vcs[i].Flits > 0 && vcs[i].Next != router.NilVC {
+			tgt := vcs[i].Next
+			tl := vcs[tgt].Link
+			if len(e.feeders[tl]) == 0 {
+				e.activeLinks = append(e.activeLinks, tl)
+			}
+			e.feeders[tl] = append(e.feeders[tl], i)
+		}
+	}
+	// Arbitrate each target channel: one winner per channel, round-robin
+	// over feeders, skipping feeders whose input channel already sent.
+	for _, tl := range e.activeLinks {
+		req := e.feeders[tl]
+		link := &fab.Links[tl]
+		n := len(req)
+		start := int(link.RR()) % n
+		for k := 0; k < n; k++ {
+			u := req[(start+k)%n]
+			uv := &vcs[u]
+			if e.flitsAtStart[u] == 0 {
+				continue // flit arrived only this cycle; forward next cycle
+			}
+			if e.flitsAtStart[uv.Next] >= int32(fab.Cfg.BufFlits) {
+				continue // no credit at the target buffer
+			}
+			in := uv.Link
+			if e.inputUsedAt[in] == e.now {
+				continue // crossbar input port already used this cycle
+			}
+			e.moveFlit(u)
+			e.inputUsedAt[in] = e.now
+			e.transmitted[tl] = true
+			e.txLinks = append(e.txLinks, tl)
+			link.AdvanceRR()
+			break
+		}
+		e.feeders[tl] = req[:0]
+	}
+}
+
+// moveFlit performs one flit movement and the associated message and
+// detection bookkeeping.
+func (e *Engine) moveFlit(u router.VCID) {
+	fab := e.fab
+	occ := fab.VCs[u].Occupant
+	next := fab.VCs[u].Next
+	m := fab.Msg(occ)
+	header, tail := fab.MoveFlit(u)
+	if header {
+		m.HeadVC = next
+		if fab.Links[fab.LinkOfVC(next)].Kind != router.DeliveryLink &&
+			m.Phase == router.PhaseNetwork {
+			// The header reached a new router: it must route again, one
+			// cycle from now.
+			m.Attempts = 0
+			e.pendingNew = append(e.pendingNew, m.ID)
+		}
+	}
+	if tail {
+		m.TailVC = next
+		e.det.VCFreed(fab.LinkOfVC(u))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: delivery ports drain one flit per cycle into the local node.
+
+func (e *Engine) drainDelivery() {
+	fab := e.fab
+	for _, id := range e.deliveryVCs {
+		vc := &fab.VCs[id]
+		if vc.Occupant == router.NilMsg || vc.Flits == 0 {
+			continue
+		}
+		m := fab.Msg(vc.Occupant)
+		tail := vc.HasTail && vc.Flits == 1
+		vc.Flits--
+		m.Consumed++
+		if vc.HasHeader {
+			vc.HasHeader = false
+			m.HeadVC = router.NilVC
+		}
+		if !tail {
+			continue
+		}
+		fab.ReleaseEmptyVC(id)
+		m.TailVC = router.NilVC
+		e.deliver(m)
+	}
+}
+
+// deliver finalizes a message whose tail has been consumed at its
+// destination.
+func (e *Engine) deliver(m *router.Message) {
+	m.Phase = router.PhaseDelivered
+	m.DeliverTime = e.now
+	if e.measuring {
+		e.st.Delivered++
+		e.st.DeliveredFlits += int64(m.Length)
+		lat := e.now - m.GenTime
+		e.st.LatencySum += lat
+		e.st.NetLatencySum += e.now - m.InjectTime
+		e.latHist.Add(lat)
+		if lat > e.st.MaxLatency {
+			e.st.MaxLatency = lat
+		}
+	}
+	if !e.cfg.RetainMessages {
+		e.fab.FreeMessage(m)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5: routing of waiting headers (detection piggybacks on failures).
+
+func (e *Engine) route() {
+	fab := e.fab
+	kept := e.pending[:0]
+	for _, id := range e.pending {
+		m := fab.Msg(id)
+		if m.Phase != router.PhaseNetwork || m.HeadVC == router.NilVC {
+			continue // delivered, recovering or aborted meanwhile
+		}
+		hv := &fab.VCs[m.HeadVC]
+		if !hv.HasHeader || hv.Next != router.NilVC {
+			continue // stale entry
+		}
+		if hv.Flits == 0 {
+			// Header flit has not arrived yet (can only happen for freshly
+			// admitted messages before the first source feed).
+			kept = append(kept, id)
+			continue
+		}
+		in := fab.LinkOfVC(m.HeadVC)
+		node := fab.RouterOf(in)
+		e.vcCandBuf = e.alg.Candidates(fab, m, node, e.vcCandBuf[:0])
+		out := fab.PickVC(e.vcCandBuf, e.cfg.Select, e.rnd)
+		if out != router.NilVC {
+			fab.Allocate(m, m.HeadVC, out)
+			m.Attempts = 0
+			e.det.RouteSucceeded(m, in)
+			continue
+		}
+		m.Attempts++
+		first := m.Attempts == 1
+		if first {
+			m.BlockedSince = e.now
+		}
+		// The feasible output physical channels, for the detection
+		// hardware (candidate VCs are grouped by link, so deduplicate
+		// consecutively).
+		e.candBuf = e.candBuf[:0]
+		for _, vc := range e.vcCandBuf {
+			l := fab.LinkOfVC(vc)
+			if len(e.candBuf) == 0 || e.candBuf[len(e.candBuf)-1] != l {
+				e.candBuf = append(e.candBuf, l)
+			}
+		}
+		if e.det.RouteFailed(m, in, e.candBuf, first, e.now) {
+			e.mark(m)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	e.pending = kept
+}
+
+// mark hands a message the detector declared deadlocked to the recovery
+// engine and classifies the detection with the oracle.
+func (e *Engine) mark(m *router.Message) {
+	e.runOracle()
+	m.TrueDeadlock = e.oracle.Contains(m.ID)
+	if e.measuring {
+		e.st.Marked++
+		if m.TrueDeadlock {
+			e.st.TrueMarked++
+		} else {
+			e.st.FalseMarked++
+		}
+	}
+	e.marksThisCycle++
+	if e.measuring {
+		e.delayHist.Add(e.now - m.BlockedSince)
+	}
+	e.rec.Mark(m, e.now)
+}
+
+// runOracle evaluates the global deadlock oracle at most once per cycle.
+func (e *Engine) runOracle() {
+	if e.oracleCycle == e.now {
+		return
+	}
+	e.oracleSize = len(e.oracle.Deadlocked())
+	e.oracleCycle = e.now
+}
+
+// ---------------------------------------------------------------------------
+// Stage 6: sources push flits of admitted messages into injection buffers.
+
+func (e *Engine) feedSources() {
+	fab := e.fab
+	kept := e.injecting[:0]
+	for _, id := range e.injecting {
+		m := fab.Msg(id)
+		if m.Phase == router.PhaseDelivered || m.Phase == router.PhaseAborted ||
+			m.Phase == router.PhaseQueued {
+			continue // recovered or delivered while still on the list
+		}
+		if m.Injected >= m.Length {
+			continue // tail already in the network
+		}
+		l := m.InjLink
+		vc := fab.VCOf(l, 0)
+		if vc.Occupant != m.ID {
+			// The injection VC was released (regressive recovery); drop.
+			continue
+		}
+		if vc.Flits < int32(fab.Cfg.BufFlits) {
+			first := m.Injected == 0
+			m.Injected++
+			vc.Flits++
+			m.LastSourceFlit = e.now
+			if first {
+				vc.HasHeader = true
+				e.pendingNew = append(e.pendingNew, m.ID)
+			}
+			if m.Injected == m.Length {
+				vc.HasTail = true
+			}
+		}
+		if m.Injected < m.Length {
+			kept = append(kept, id)
+		}
+	}
+	e.injecting = kept
+}
+
+// ---------------------------------------------------------------------------
+// Recovery completion.
+
+// onRecovered re-queues (or delivers) a message the recovery engine has
+// fully removed from the fabric.
+func (e *Engine) onRecovered(m *router.Message, node int) {
+	if e.measuring {
+		if e.cfg.Recovery == recovery.Progressive {
+			e.st.Absorbed++
+		} else {
+			e.st.Aborted++
+		}
+	}
+	if node == int(m.Dst) {
+		// Progressive recovery absorbed the message at its destination:
+		// it has been delivered through the recovery path.
+		if e.measuring {
+			e.st.RecoveredDelivered++
+		}
+		e.deliver(m)
+		return
+	}
+	e.requeue(m, node)
+}
+
+// requeue resets a message's transport state and re-enters it into node's
+// source queue.
+func (e *Engine) requeue(m *router.Message, node int) {
+	m.Phase = router.PhaseQueued
+	m.Src = int32(node)
+	m.Injected = 0
+	m.Consumed = 0
+	m.Attempts = 0
+	m.Marked = false
+	m.InjLink = router.NilLink
+	m.Retries++
+	e.queues[node] = append(e.queues[node], m.ID)
+	if e.measuring {
+		e.st.Reinjected++
+	}
+}

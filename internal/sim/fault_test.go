@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/router"
+	"wormnet/internal/routing"
+	"wormnet/internal/topology"
+)
+
+// TestFaultMaskingWithAdaptiveRouting: with path diversity, adaptive
+// routing delivers traffic around a failed channel; messages holding the
+// channel at failure time are killed and retried.
+func TestFaultMaskingWithAdaptiveRouting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.K, cfg.N = 4, 2
+	cfg.Load = 0.4
+	cfg.Warmup, cfg.Measure = 0, 1<<40
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.Stats().Delivered
+	// Fail a couple of X+ channels.
+	e.FailLink(e.Fabric().NetLink(0, 0))
+	e.FailLink(e.Fabric().NetLink(5, 2))
+	if e.Stats().LinkFailures != 2 {
+		t.Fatalf("LinkFailures = %d", e.Stats().LinkFailures)
+	}
+	for i := 0; i < 6000; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Stats().Delivered
+	if after-before < 1000 {
+		t.Fatalf("network stalled after faults: %d delivered in 6000 cycles", after-before)
+	}
+	// Nothing may ever occupy a failed channel again.
+	if e.Fabric().BusyVCs(e.Fabric().NetLink(0, 0)) != 0 {
+		t.Error("failed channel occupied")
+	}
+}
+
+// TestFaultKillsOccupants: a worm straddling a channel at failure time is
+// evicted, re-queued at its source, and eventually delivered.
+func TestFaultKillsOccupants(t *testing.T) {
+	e := quiescent(t, 8, 1)
+	m := e.InjectMessage(0, 4, 64) // long worm across the + ring
+	stepN(t, e, 10)                // worm straddles several channels
+	if m.Phase != router.PhaseNetwork {
+		t.Fatalf("phase %v", m.Phase)
+	}
+	l := e.Fabric().LinkOfVC(m.HeadVC)
+	if e.Fabric().Links[l].Kind != router.NetworkLink {
+		t.Fatalf("head not on a network link yet")
+	}
+	e.FailLink(l)
+	if e.Stats().KilledByFault != 1 {
+		t.Fatalf("KilledByFault = %d", e.Stats().KilledByFault)
+	}
+	if m.Phase != router.PhaseQueued {
+		t.Fatalf("victim phase %v, want re-queued", m.Phase)
+	}
+	if m.Retries != 1 {
+		t.Errorf("retries %d", m.Retries)
+	}
+	// On an 8-ring with one + channel dead the minimal path may be cut, but
+	// this message still has the minus ring if distance allows; here 0->4
+	// is halfway, so both directions are minimal and it gets through.
+	for i := 0; i < 400 && m.Phase != router.PhaseDelivered; i++ {
+		stepN(t, e, 1)
+	}
+	if m.Phase != router.PhaseDelivered {
+		t.Fatal("victim never delivered after retry")
+	}
+	if err := e.Fabric().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairLink: traffic uses a channel again after repair.
+func TestRepairLink(t *testing.T) {
+	e := quiescent(t, 8, 1)
+	l := e.Fabric().NetLink(0, 0)
+	e.FailLink(l)
+	// 0 -> 1 has only the + path of length 1 as minimal; with it cut the
+	// message cannot route (minimal routing is not fault tolerant without
+	// diversity).
+	m := e.InjectMessage(0, 1, 4)
+	stepN(t, e, 50)
+	if m.Phase == router.PhaseDelivered {
+		t.Fatal("message delivered across a failed channel")
+	}
+	e.RepairLink(l)
+	stepN(t, e, 50)
+	if m.Phase != router.PhaseDelivered {
+		t.Fatal("message not delivered after repair")
+	}
+}
+
+// TestDetectionUnderFaults: faults + congestion do not wedge the detector;
+// the run keeps delivering with NDM active.
+func TestDetectionUnderFaults(t *testing.T) {
+	cfg := smallConfig()
+	cfg.K, cfg.N = 4, 2
+	cfg.Load = 1.5
+	cfg.Warmup, cfg.Measure = 0, 1<<40
+	cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewNDM(f, 16) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 4; d += 2 {
+		e.FailLink(e.Fabric().NetLink(d, topology.Direction(d%4)))
+	}
+	before := e.Stats().Delivered
+	for i := 0; i < 8000; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats().Delivered-before < 1000 {
+		t.Fatal("wedged under faults")
+	}
+}
+
+// TestDORNotFaultTolerant: dimension-order traffic whose single path is cut
+// stops being delivered between the affected pairs (documented behavior).
+func TestDORNotFaultTolerant(t *testing.T) {
+	cfg := smallConfig()
+	cfg.K, cfg.N = 8, 1
+	cfg.Routing = routing.DimensionOrder{}
+	cfg.Detector = nil
+	cfg.Load = 0
+	cfg.Warmup, cfg.Measure = 0, 1<<40
+	cfg.RetainMessages = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Fabric().FailLink(e.Fabric().NetLink(1, 0)) // cut 1 -> 2 on the + ring
+	m := e.InjectMessage(0, 3, 4)                 // DOR goes +: 0,1,2,3
+	for i := 0; i < 200; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Phase == router.PhaseDelivered {
+		t.Fatal("DOR delivered across its cut path")
+	}
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates int64 samples (latencies, queue depths, blocked
+// durations) in logarithmic buckets, supporting approximate quantiles with
+// bounded relative error and O(1) insertion. Bucket b covers values in
+// [floor(growth^b), floor(growth^(b+1))).
+type Histogram struct {
+	growth  float64
+	logG    float64
+	counts  []int64
+	total   int64
+	sum     int64
+	min     int64
+	max     int64
+	samples bool
+}
+
+// NewHistogram returns a histogram with the given bucket growth factor
+// (e.g. 1.25 for ~12% relative quantile error). It panics if growth <= 1.
+func NewHistogram(growth float64) *Histogram {
+	if growth <= 1 {
+		panic("stats: histogram growth must be > 1")
+	}
+	return &Histogram{growth: growth, logG: math.Log(growth)}
+}
+
+// bucket returns the bucket index for value v (>= 0).
+func (h *Histogram) bucket(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return int(math.Log(float64(v))/h.logG) + 1
+}
+
+// lowerBound returns the smallest value falling into bucket b.
+func (h *Histogram) lowerBound(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	return int64(math.Exp(float64(b-1) * h.logG))
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := h.bucket(v)
+	for len(h.counts) <= b {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += v
+	if !h.samples || v < h.min {
+		h.min = v
+	}
+	if !h.samples || v > h.max {
+		h.max = v
+	}
+	h.samples = true
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the exact sample mean (sums are tracked exactly).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min and Max return the exact extremes.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1), exact
+// to within one bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(q * float64(h.total))
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum > target {
+			// Midpoint of the bucket, clamped to the observed extremes.
+			lo, hi := h.lowerBound(b), h.lowerBound(b+1)
+			mid := (lo + hi) / 2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h. Both histograms must share the growth factor.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if other.growth != h.growth {
+		panic("stats: merging histograms with different growth factors")
+	}
+	for len(h.counts) < len(other.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	if !h.samples || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+	h.samples = true
+}
+
+// String renders a compact summary with common percentiles.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "histogram(empty)"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d",
+		h.total, h.Mean(), h.min, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.max)
+}
+
+// Bars renders an ASCII bar chart of the distribution with up to width
+// characters per bar, skipping empty leading/trailing buckets.
+func (h *Histogram) Bars(width int) string {
+	if h.total == 0 || width < 1 {
+		return ""
+	}
+	first, last := -1, -1
+	var peak int64
+	for b, c := range h.counts {
+		if c > 0 {
+			if first == -1 {
+				first = b
+			}
+			last = b
+			if c > peak {
+				peak = c
+			}
+		}
+	}
+	var sb strings.Builder
+	for b := first; b <= last; b++ {
+		n := int(float64(h.counts[b]) / float64(peak) * float64(width))
+		if h.counts[b] > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%8d.. %s %d\n", h.lowerBound(b), strings.Repeat("#", n), h.counts[b])
+	}
+	return sb.String()
+}
+
+// Series is a collection of scalar observations from repeated runs (e.g.
+// the detection percentage across seeds), summarized with mean, deviation
+// and a normal-approximation confidence interval.
+type Series struct {
+	vals []float64
+}
+
+// Add records an observation.
+func (s *Series) Add(v float64) { s.vals = append(s.vals, v) }
+
+// N returns the number of observations.
+func (s *Series) N() int { return len(s.vals) }
+
+// Mean returns the sample mean.
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// StdDev returns the sample standard deviation (n-1 normalization).
+func (s *Series) StdDev() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 returns the half-width of a 95% confidence interval for the mean
+// using the normal approximation (adequate for the >= 5 seeds the harness
+// uses).
+func (s *Series) CI95() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// Median returns the sample median.
+func (s *Series) Median() float64 {
+	n := len(s.vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// String renders "mean ± ci95 (n=N)".
+func (s *Series) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean(), s.CI95(), s.N())
+}

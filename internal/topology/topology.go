@@ -1,0 +1,234 @@
+// Package topology models k-ary n-cube interconnection networks
+// (bidirectional tori), the substrate evaluated in the paper: a
+// bidirectional 8-ary 3-cube with 512 nodes.
+//
+// Nodes are identified by a dense integer ID in [0, N) and, equivalently,
+// by an n-digit radix-k coordinate vector. Each node has 2n network
+// directions (one positive and one negative per dimension); when k == 2 the
+// positive and negative neighbors coincide and only the positive direction
+// is used, yielding a hypercube.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Direction identifies one of the 2n network directions of a node.
+// Directions are numbered dim*2 for the positive ("+") direction of a
+// dimension and dim*2+1 for the negative ("-") direction.
+type Direction int
+
+// Dim returns the dimension this direction travels along.
+func (d Direction) Dim() int { return int(d) / 2 }
+
+// Negative reports whether the direction decreases the coordinate.
+func (d Direction) Negative() bool { return int(d)%2 == 1 }
+
+// Opposite returns the direction that undoes d.
+func (d Direction) Opposite() Direction { return d ^ 1 }
+
+// String formats the direction as, e.g., "X+", "Y-", "D3+".
+func (d Direction) String() string {
+	names := []string{"X", "Y", "Z", "W"}
+	dim := d.Dim()
+	name := fmt.Sprintf("D%d", dim)
+	if dim < len(names) {
+		name = names[dim]
+	}
+	if d.Negative() {
+		return name + "-"
+	}
+	return name + "+"
+}
+
+// Torus is a k-ary n-cube with bidirectional links.
+type Torus struct {
+	k int // radix: nodes per dimension
+	n int // number of dimensions
+	// nodes = k^n, precomputed.
+	nodes int
+	// strides[d] = k^d, used to convert between IDs and coordinates.
+	strides []int
+	// neighbor[id*2n + dir] caches neighbor IDs.
+	neighbor []int32
+}
+
+// New constructs a k-ary n-cube. It panics if k < 2, n < 1, or the node
+// count overflows int32 (the simulator stores node IDs as int32).
+func New(k, n int) *Torus {
+	if k < 2 {
+		panic("topology: radix k must be at least 2")
+	}
+	if n < 1 {
+		panic("topology: dimension n must be at least 1")
+	}
+	nodes := 1
+	strides := make([]int, n)
+	for d := 0; d < n; d++ {
+		strides[d] = nodes
+		nodes *= k
+		if nodes > 1<<30 {
+			panic("topology: network too large")
+		}
+	}
+	t := &Torus{k: k, n: n, nodes: nodes, strides: strides}
+	t.neighbor = make([]int32, nodes*2*n)
+	coord := make([]int, n)
+	for id := 0; id < nodes; id++ {
+		t.coordsInto(id, coord)
+		for d := 0; d < n; d++ {
+			up := coord[d] + 1
+			if up == k {
+				up = 0
+			}
+			down := coord[d] - 1
+			if down < 0 {
+				down = k - 1
+			}
+			base := id*2*n + d*2
+			t.neighbor[base] = int32(id + (up-coord[d])*strides[d])
+			t.neighbor[base+1] = int32(id + (down-coord[d])*strides[d])
+		}
+	}
+	return t
+}
+
+// K returns the radix (nodes per dimension).
+func (t *Torus) K() int { return t.k }
+
+// N returns the number of dimensions.
+func (t *Torus) N() int { return t.n }
+
+// Nodes returns the total number of nodes, k^n.
+func (t *Torus) Nodes() int { return t.nodes }
+
+// Degree returns the number of network directions per node, 2n.
+func (t *Torus) Degree() int { return 2 * t.n }
+
+// Coord returns the coordinate vector of node id.
+func (t *Torus) Coord(id int) []int {
+	c := make([]int, t.n)
+	t.coordsInto(id, c)
+	return c
+}
+
+func (t *Torus) coordsInto(id int, c []int) {
+	for d := 0; d < t.n; d++ {
+		c[d] = (id / t.strides[d]) % t.k
+	}
+}
+
+// ID returns the node ID of the coordinate vector c. Coordinates are taken
+// modulo k, so out-of-range values wrap around the torus.
+func (t *Torus) ID(c []int) int {
+	if len(c) != t.n {
+		panic("topology: coordinate dimension mismatch")
+	}
+	id := 0
+	for d := 0; d < t.n; d++ {
+		x := c[d] % t.k
+		if x < 0 {
+			x += t.k
+		}
+		id += x * t.strides[d]
+	}
+	return id
+}
+
+// Neighbor returns the node adjacent to id in direction dir.
+func (t *Torus) Neighbor(id int, dir Direction) int {
+	return int(t.neighbor[id*2*t.n+int(dir)])
+}
+
+// delta returns the signed minimal displacement from a to b along one
+// dimension, in the range (-k/2, k/2]. A positive value means the "+"
+// direction is minimal; when k is even and the displacement is exactly k/2
+// both directions are minimal and delta returns +k/2 (MinimalDirections
+// handles the tie by offering both).
+func (t *Torus) delta(a, b, dim int) int {
+	d := (b - a) % t.k
+	if d < 0 {
+		d += t.k
+	}
+	if 2*d > t.k {
+		d -= t.k
+	}
+	return d
+}
+
+// Distance returns the minimal hop count between nodes a and b.
+func (t *Torus) Distance(a, b int) int {
+	dist := 0
+	for dim := 0; dim < t.n; dim++ {
+		ca := (a / t.strides[dim]) % t.k
+		cb := (b / t.strides[dim]) % t.k
+		d := t.delta(ca, cb, dim)
+		if d < 0 {
+			d = -d
+		}
+		dist += d
+	}
+	return dist
+}
+
+// MinimalDirections appends to buf every direction that moves a packet at
+// cur strictly closer to dst on a minimal path, and returns the extended
+// slice. When the remaining displacement along a dimension is exactly k/2
+// (k even) both directions of that dimension are minimal and both are
+// offered — this is what gives true fully adaptive routing its flexibility
+// on tori. The result is empty iff cur == dst.
+func (t *Torus) MinimalDirections(cur, dst int, buf []Direction) []Direction {
+	for dim := 0; dim < t.n; dim++ {
+		cc := (cur / t.strides[dim]) % t.k
+		cd := (dst / t.strides[dim]) % t.k
+		d := t.delta(cc, cd, dim)
+		switch {
+		case d == 0:
+			// Aligned in this dimension.
+		case 2*d == t.k:
+			// Exactly halfway around: both directions are minimal.
+			buf = append(buf, Direction(dim*2), Direction(dim*2+1))
+		case d > 0:
+			buf = append(buf, Direction(dim*2))
+		default:
+			buf = append(buf, Direction(dim*2+1))
+		}
+	}
+	return buf
+}
+
+// String describes the topology, e.g. "8-ary 3-cube (512 nodes)".
+func (t *Torus) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-ary %d-cube (%d nodes)", t.k, t.n, t.nodes)
+	return b.String()
+}
+
+// AverageDistance returns the mean minimal hop count over all ordered pairs
+// of distinct nodes. It is used to size workloads and sanity-check
+// saturation estimates in the experiment harness.
+func (t *Torus) AverageDistance() float64 {
+	// Distance is translation invariant on a torus: average distance from
+	// node 0 to all others equals the global average.
+	total := 0
+	for b := 1; b < t.nodes; b++ {
+		total += t.Distance(0, b)
+	}
+	return float64(total) / float64(t.nodes-1)
+}
+
+// BisectionLinks returns the number of unidirectional links crossing the
+// bisection of the highest dimension. For k even this is 2 * k^(n-1) * 2
+// (two wrap surfaces, both directions); it is a coarse capacity metric used
+// only for reporting.
+func (t *Torus) BisectionLinks() int {
+	if t.k%2 != 0 {
+		return 0
+	}
+	links := 1
+	for d := 0; d < t.n-1; d++ {
+		links *= t.k
+	}
+	return 4 * links
+}

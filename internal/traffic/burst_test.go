@@ -1,0 +1,154 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"wormnet/internal/rng"
+	"wormnet/internal/topology"
+)
+
+func TestTransposePermutation(t *testing.T) {
+	tp := topology.New(4, 2)
+	p := NewTranspose(tp)
+	r := rng.New(1)
+	// (1, 2) -> (2, 1)
+	src := tp.ID([]int{1, 2})
+	want := tp.ID([]int{2, 1})
+	if got := p.Destination(src, r); got != want {
+		t.Errorf("transpose(%d) = %d, want %d", src, got, want)
+	}
+	// Diagonal nodes redraw; never self.
+	diag := tp.ID([]int{3, 3})
+	for i := 0; i < 100; i++ {
+		if p.Destination(diag, r) == diag {
+			t.Fatal("diagonal node sent to itself")
+		}
+	}
+	if p.Name() != "transpose" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestTransposeThreeDims(t *testing.T) {
+	tp := topology.New(3, 3)
+	p := NewTranspose(tp)
+	r := rng.New(2)
+	src := tp.ID([]int{0, 1, 2})
+	want := tp.ID([]int{2, 1, 0})
+	if got := p.Destination(src, r); got != want {
+		t.Errorf("transpose = %d, want %d", got, want)
+	}
+}
+
+func TestTornado(t *testing.T) {
+	tp := topology.New(8, 2)
+	p := NewTornado(tp)
+	// (2, 5) -> (2 + 3, 5) = (5, 5): k/2 - 1 = 3 hops in dimension 0.
+	src := tp.ID([]int{2, 5})
+	want := tp.ID([]int{5, 5})
+	if got := p.Destination(src, nil); got != want {
+		t.Errorf("tornado(%d) = %d, want %d", src, got, want)
+	}
+	// Wraps around.
+	src = tp.ID([]int{7, 0})
+	want = tp.ID([]int{2, 0})
+	if got := p.Destination(src, nil); got != want {
+		t.Errorf("tornado wrap = %d, want %d", got, want)
+	}
+	if p.Name() != "tornado" {
+		t.Errorf("name %q", p.Name())
+	}
+}
+
+func TestTornadoValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for k=2")
+		}
+	}()
+	NewTornado(topology.New(2, 3))
+}
+
+func TestBurstyAverageLoad(t *testing.T) {
+	tp := topology.New(4, 2)
+	b := NewBursty(tp, NewUniform(tp), Fixed(16), 0.4, 4, 64)
+	r := rng.New(3)
+	const cycles = 400_000
+	flits := 0
+	for i := 0; i < cycles; i++ {
+		if _, length, ok := b.Next(0, r); ok {
+			flits += length
+		}
+	}
+	got := float64(flits) / cycles
+	if math.Abs(got-0.4) > 0.05 {
+		t.Errorf("long-run load %.4f, want about 0.4", got)
+	}
+}
+
+// TestBurstyIsActuallyBursty: the variance of per-window arrivals must far
+// exceed a Bernoulli process at the same average rate.
+func TestBurstyIsActuallyBursty(t *testing.T) {
+	tp := topology.New(4, 2)
+	load := 0.4
+	bursty := NewBursty(tp, NewUniform(tp), Fixed(16), load, 8, 128)
+	smooth := NewGenerator(NewUniform(tp), Fixed(16), load)
+	r1, r2 := rng.New(4), rng.New(5)
+
+	variance := func(next func() bool) float64 {
+		const windows, windowLen = 400, 128
+		var sum, sumSq float64
+		for w := 0; w < windows; w++ {
+			count := 0.0
+			for c := 0; c < windowLen; c++ {
+				if next() {
+					count++
+				}
+			}
+			sum += count
+			sumSq += count * count
+		}
+		mean := sum / windows
+		return sumSq/windows - mean*mean
+	}
+
+	vb := variance(func() bool { _, _, ok := bursty.Next(0, r1); return ok })
+	vs := variance(func() bool { _, _, ok := smooth.Next(0, r2); return ok })
+	if vb < 2*vs {
+		t.Errorf("bursty variance %.2f not clearly above smooth %.2f", vb, vs)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	tp := topology.New(4, 2)
+	for _, fn := range []func(){
+		func() { NewBursty(tp, NewUniform(tp), Fixed(16), 0.4, 1.0, 64) },
+		func() { NewBursty(tp, NewUniform(tp), Fixed(16), 0.4, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBurstyName(t *testing.T) {
+	tp := topology.New(4, 2)
+	b := NewBursty(tp, NewUniform(tp), Fixed(16), 0.4, 4, 64)
+	if b.Name() != "bursty(uniform)" {
+		t.Errorf("name %q", b.Name())
+	}
+}
+
+func TestGeneratorName(t *testing.T) {
+	tp := topology.New(4, 2)
+	g := NewGenerator(NewUniform(tp), Fixed(16), 0.4)
+	if g.Name() != "bernoulli(uniform,16-flit)" {
+		t.Errorf("name %q", g.Name())
+	}
+}

@@ -1,0 +1,283 @@
+package wormnet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// small returns a fast configuration on a 16-node torus.
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.K, cfg.N = 4, 2
+	cfg.Warmup, cfg.Measure = 500, 3000
+	return cfg
+}
+
+func TestRunDefaultsOnSmallTorus(t *testing.T) {
+	res, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.DetectorName != "ndm(t2=32)" {
+		t.Errorf("detector %q", res.DetectorName)
+	}
+	if res.TotalCycles != 3500 {
+		t.Errorf("TotalCycles = %d", res.TotalCycles)
+	}
+}
+
+func TestRunAllPatterns(t *testing.T) {
+	for _, p := range []Pattern{Uniform, Locality, BitReversal, PerfectShuffle, Butterfly, HotSpot} {
+		cfg := small()
+		cfg.Pattern = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", p)
+		}
+	}
+}
+
+func TestRunAllMechanisms(t *testing.T) {
+	for _, m := range []Mechanism{NDM, PDM, SourceAge, SourceStall, HeaderBlock, NoDetection} {
+		cfg := small()
+		cfg.Mechanism = m
+		cfg.Threshold = 64
+		cfg.Load = 1.0
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+	}
+}
+
+func TestRunAllLengths(t *testing.T) {
+	for _, l := range []Lengths{Len16, Len64, Len256, LenSL} {
+		cfg := small()
+		cfg.Lengths = l
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunRecoveryStyles(t *testing.T) {
+	for _, r := range []Recovery{Progressive, Regressive} {
+		cfg := small()
+		cfg.Recovery = r
+		cfg.Load = 2.0
+		cfg.VirtualChannels = 1
+		cfg.InjectionLimit = -1
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"pattern":   func(c *Config) { c.Pattern = "nope" },
+		"mechanism": func(c *Config) { c.Mechanism = "nope" },
+		"recovery":  func(c *Config) { c.Recovery = "nope" },
+		"lengths":   func(c *Config) { c.Lengths = Lengths{} },
+		"topology":  func(c *Config) { c.K = 0 },
+	} {
+		cfg := small()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: bad config accepted", name)
+		}
+	}
+}
+
+func TestSelectivePromotionRuns(t *testing.T) {
+	cfg := small()
+	cfg.SelectivePromotion = true
+	cfg.Load = 2.0
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.DetectorName, "selective") {
+		t.Errorf("detector %q", res.DetectorName)
+	}
+}
+
+func TestOracleEvery(t *testing.T) {
+	cfg := small()
+	cfg.OracleEvery = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleRuns == 0 {
+		t.Error("oracle never ran")
+	}
+}
+
+func TestRunPaperTableScaledDown(t *testing.T) {
+	var progressCalls int
+	res, err := RunPaperTable(2, TableOptions{
+		K: 4, N: 2,
+		Warmup:        300,
+		Measure:       1500,
+		RelativeRates: true,
+		Progress:      func(done, total int) { progressCalls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progressCalls != 10*4*4 {
+		t.Errorf("progress calls = %d, want 160", progressCalls)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "Th 1024") {
+		t.Errorf("rendered table malformed:\n%s", out)
+	}
+	if _, ok := res.WorstAtThreshold(32); !ok {
+		t.Error("threshold 32 row missing")
+	}
+	if _, ok := res.Pct(32, 0, "s"); !ok {
+		t.Error("cell lookup failed")
+	}
+	if _, ok := res.Pct(3, 0, "s"); ok {
+		t.Error("nonexistent threshold found")
+	}
+}
+
+func TestRunRoutingAlgorithms(t *testing.T) {
+	for _, r := range []Routing{Adaptive, DOR, Duato} {
+		cfg := small()
+		cfg.Routing = r
+		if r != Adaptive {
+			cfg.Mechanism = NoDetection
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", r, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", r)
+		}
+	}
+	// Unknown routing rejected.
+	cfg := small()
+	cfg.Routing = "nope"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown routing accepted")
+	}
+	// Detection with avoidance routing rejected.
+	cfg = small()
+	cfg.Routing = DOR
+	if _, err := Run(cfg); err == nil {
+		t.Error("detection accepted with DOR")
+	}
+}
+
+func TestRunExtendedPatterns(t *testing.T) {
+	for _, p := range []Pattern{Transpose, Tornado} {
+		cfg := small()
+		cfg.Pattern = p
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if res.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", p)
+		}
+	}
+}
+
+func TestRunBurstySources(t *testing.T) {
+	cfg := small()
+	cfg.Burstiness = 4
+	cfg.BurstLength = 32
+	cfg.Load = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered under bursty sources")
+	}
+	// The long-run accepted load should still track the configured average.
+	if thr := res.Throughput(); thr < 0.3 || thr > 0.7 {
+		t.Errorf("bursty throughput %.4f far from configured 0.5", thr)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	res, err := Run(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 <= 0 || res.LatencyP99 < res.LatencyP50 || res.LatencyP95 > res.LatencyP99 {
+		t.Errorf("percentiles p50=%d p95=%d p99=%d", res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+}
+
+// TestDetectionDelayHugsThreshold: once a deadlock forms, NDM marks within
+// a small number of cycles after t2 expires — the detection delay
+// percentiles sit at or just above the threshold.
+func TestDetectionDelayHugsThreshold(t *testing.T) {
+	cfg := small()
+	cfg.VirtualChannels = 1
+	cfg.InjectionLimit = -1
+	cfg.Load = 2.0
+	cfg.Threshold = 16
+	cfg.Warmup, cfg.Measure = 0, 15000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Marked == 0 {
+		t.Skip("no marks this seed")
+	}
+	if res.DetectDelayP50 < cfg.Threshold {
+		t.Errorf("p50 detection delay %d below the threshold %d", res.DetectDelayP50, cfg.Threshold)
+	}
+	if res.DetectDelayP50 > cfg.Threshold*8 {
+		t.Errorf("p50 detection delay %d far above the threshold %d", res.DetectDelayP50, cfg.Threshold)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	cfg := small()
+	var calls int
+	var lastHeat string
+	res, err := Observe(cfg, 500, func(cycle int64, summary, heatmap string) {
+		calls++
+		if summary == "" {
+			t.Error("empty summary")
+		}
+		lastHeat = heatmap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != int((cfg.Warmup+cfg.Measure)/500) {
+		t.Errorf("observer called %d times", calls)
+	}
+	if !strings.Contains(lastHeat, "\n") {
+		t.Errorf("heatmap missing for 2-D network: %q", lastHeat)
+	}
+	if res.Delivered == 0 {
+		t.Error("nothing delivered")
+	}
+	if _, err := Observe(cfg, 0, func(int64, string, string) {}); err == nil {
+		t.Error("every=0 accepted")
+	}
+}
+
+func TestRunPaperTableUnknownID(t *testing.T) {
+	if _, err := RunPaperTable(9, TableOptions{K: 4, N: 2}); err == nil {
+		t.Fatal("table 9 accepted")
+	}
+}
