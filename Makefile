@@ -1,0 +1,42 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same steps.
+
+GO ?= go
+
+.PHONY: all build test race vet smoke bench-harness clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Determinism smoke: a 4-worker checkpointed sweep must be byte-identical
+# to a serial sweep, and so must a resume against the finished journal.
+smoke: build
+	$(GO) build -o /tmp/wormnet-loadsweep ./cmd/loadsweep
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -quiet -json > /tmp/wormnet-serial.json
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 4 -checkpoint /tmp/wormnet-sweep.jsonl -quiet -json > /tmp/wormnet-par.json
+	cmp /tmp/wormnet-serial.json /tmp/wormnet-par.json
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 4 -checkpoint /tmp/wormnet-sweep.jsonl -resume -quiet -json > /tmp/wormnet-resumed.json
+	cmp /tmp/wormnet-serial.json /tmp/wormnet-resumed.json
+	@echo "smoke: parallel and resumed sweeps byte-identical to serial"
+
+# Serial vs parallel sweep wall-clock; writes results/harness_bench.txt.
+bench-harness:
+	$(GO) test -run NONE -bench 'BenchmarkSweep' -benchtime 2x \
+		./internal/harness/ | tee results/harness_bench.txt
+
+clean:
+	rm -f /tmp/wormnet-loadsweep /tmp/wormnet-serial.json \
+		/tmp/wormnet-par.json /tmp/wormnet-resumed.json /tmp/wormnet-sweep.jsonl

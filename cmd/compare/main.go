@@ -1,23 +1,42 @@
-// Command compare loads two measured tables saved as JSON by
-// `tables -json` — a PDM run (Table 1) and an NDM run (Table 2) over the
-// same workload grid — and prints the paper's headline comparison: the
-// per-threshold worst-case detection percentages at the saturated load,
-// their ratios, and the mean improvement factor (the paper reports ~10x),
-// plus the message-length sensitivity of each mechanism.
+// Command compare prints the paper's headline comparison between the PDM
+// and NDM detection mechanisms over the same workload grid: per-threshold
+// worst-case detection percentages at the saturated load, their ratios, the
+// mean improvement factor (the paper reports ~10x), and the message-length
+// sensitivity of each mechanism.
 //
-// Usage:
+// Two modes:
+//
+// File mode (the original): load two tables saved as JSON by `tables -json`:
 //
 //	tables -table 1 -relative -json > t1.json
 //	tables -table 2 -relative -json > t2.json
 //	compare t1.json t2.json
+//
+// Run mode (-run): measure both tables in-process on the parallel sweep
+// harness, then compare:
+//
+//	compare -run -k 4 -n 2 -relative -workers 8 -replicates 3 \
+//	        -checkpoint cmp.jsonl
+//
+// In run mode each (cell, replicate) is an independent simulation scheduled
+// across -workers goroutines; seeds derive purely from (-seed, cell,
+// replicate), so results are independent of -workers, and -checkpoint /
+// -resume continue an interrupted measurement (one journal per table,
+// suffixed .pdm and .ndm).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"wormnet/internal/exp"
 )
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "compare: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func load(path string) (*exp.Result, error) {
 	f, err := os.Open(path)
@@ -29,30 +48,93 @@ func load(path string) (*exp.Result, error) {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: compare <pdm.json> <ndm.json>")
-		os.Exit(2)
+	var (
+		run        = flag.Bool("run", false, "measure both tables now instead of loading JSON files")
+		pdmTable   = flag.Int("pdm-table", 1, "paper table measured for the PDM side (run mode)")
+		ndmTable   = flag.Int("ndm-table", 2, "paper table measured for the NDM side (run mode)")
+		k          = flag.Int("k", 8, "radix (run mode)")
+		n          = flag.Int("n", 3, "dimensions (run mode)")
+		warmup     = flag.Int64("warmup", 5000, "warm-up cycles per cell (run mode)")
+		measure    = flag.Int64("measure", 30000, "measured cycles per cell (run mode)")
+		seed       = flag.Uint64("seed", 1, "base random seed (run mode)")
+		relative   = flag.Bool("relative", false, "rescale the paper's rates to measured saturation (run mode)")
+		workers    = flag.Int("workers", 0, "concurrent simulations, 0 = GOMAXPROCS (run mode)")
+		replicates = flag.Int("replicates", 1, "independently seeded runs per cell (run mode)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint journal path prefix (run mode)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint journals (run mode)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output (run mode)")
+	)
+	flag.Parse()
+
+	// Flags that only make sense in run mode must not be silently ignored.
+	if !*run {
+		runOnly := map[string]bool{
+			"pdm-table": true, "ndm-table": true, "k": true, "n": true,
+			"warmup": true, "measure": true, "seed": true, "relative": true,
+			"workers": true, "replicates": true, "checkpoint": true,
+			"resume": true, "quiet": true,
+		}
+		var misused []string
+		flag.Visit(func(f *flag.Flag) {
+			if runOnly[f.Name] {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			fail("%v only apply with -run (file mode just loads two JSON tables)", misused)
+		}
+		if len(flag.Args()) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: compare <pdm.json> <ndm.json>")
+			fmt.Fprintln(os.Stderr, "       compare -run [options]   (see -h)")
+			os.Exit(2)
+		}
 	}
-	pdm, err := load(os.Args[1])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(1)
+
+	var pdm, ndm *exp.Result
+	if *run {
+		switch {
+		case len(flag.Args()) > 0:
+			fail("unexpected arguments %q in -run mode", flag.Args())
+		case *k < 2 || *n < 1:
+			fail("invalid topology: %d-ary %d-cube (need -k >= 2, -n >= 1)", *k, *n)
+		case *warmup < 0 || *measure <= 0:
+			fail("need -warmup >= 0 and -measure > 0, got %d and %d", *warmup, *measure)
+		case *workers < 0:
+			fail("-workers must be >= 0, got %d", *workers)
+		case *replicates < 1:
+			fail("-replicates must be >= 1, got %d", *replicates)
+		case *resume && *checkpoint == "":
+			fail("-resume requires -checkpoint")
+		}
+		pdm = measureTable(*pdmTable, "pdm", *k, *n, *warmup, *measure, *seed,
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet)
+		ndm = measureTable(*ndmTable, "ndm", *k, *n, *warmup, *measure, *seed,
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet)
+	} else {
+		var err error
+		if pdm, err = load(flag.Arg(0)); err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
+		if ndm, err = load(flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(1)
+		}
 	}
-	ndm, err := load(os.Args[2])
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(1)
-	}
+
 	if err := exp.CompareReport(os.Stdout, pdm, ndm); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)
 		os.Exit(1)
 	}
 	fmt.Println()
 	fmt.Println("smallest threshold with <= 0.1% detections at the saturated load, per message size:")
-	for name, r := range map[string]*exp.Result{"PDM": pdm, "NDM": ndm} {
-		fmt.Printf("  %s: ", name)
-		sens := exp.LengthSensitivity(r, 0.1)
-		for _, size := range r.Table.Sizes {
+	for _, side := range []struct {
+		name string
+		r    *exp.Result
+	}{{"PDM", pdm}, {"NDM", ndm}} {
+		fmt.Printf("  %s: ", side.name)
+		sens := exp.LengthSensitivity(side.r, 0.1)
+		for _, size := range side.r.Table.Sizes {
 			th := sens[size.Key]
 			if th < 0 {
 				fmt.Printf("%s=never ", size.Key)
@@ -62,4 +144,35 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// measureTable runs one paper table on the harness.
+func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed uint64,
+	relative bool, workers, replicates int, checkpoint string, resume, quiet bool) *exp.Result {
+	tbl, err := exp.PaperTable(id)
+	if err != nil {
+		fail("%v", err)
+	}
+	opt := exp.DefaultOptions()
+	opt.K, opt.N = k, n
+	opt.Warmup, opt.Measure = warmup, measure
+	opt.Seed = seed
+	opt.RelativeRates = relative
+	opt.Workers = workers
+	opt.Repeats = replicates
+	opt.Resume = resume
+	if checkpoint != "" {
+		opt.Journal = checkpoint + "." + suffix
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "compare: measuring table %d (%s, %s)\n",
+			tbl.ID, tbl.Mechanism, tbl.PatternName)
+		opt.ProgressWriter = os.Stderr
+	}
+	res, err := exp.Run(tbl, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+	return res
 }

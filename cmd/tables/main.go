@@ -33,12 +33,31 @@ func main() {
 		warmup   = flag.Int64("warmup", 5000, "warm-up cycles per cell")
 		measure  = flag.Int64("measure", 30000, "measured cycles per cell")
 		seed     = flag.Uint64("seed", 1, "random seed")
-		relative = flag.Bool("relative", false, "rescale the paper's rates to this network's measured saturation throughput")
-		sel      = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
-		quiet    = flag.Bool("quiet", false, "suppress per-cell progress")
-		asJSON   = flag.Bool("json", false, "emit JSON instead of the text table")
+		relative   = flag.Bool("relative", false, "rescale the paper's rates to this network's measured saturation throughput")
+		sel        = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
+		workers    = flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical for any value")
+		repeats    = flag.Int("repeats", 1, "independently seeded runs per cell, reported as mean±ci95")
+		checkpoint = flag.String("checkpoint", "", "JSONL checkpoint journal path prefix (per-table suffix .t<N> is appended)")
+		resume     = flag.Bool("resume", false, "resume completed cells from the -checkpoint journals")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress")
+		asJSON     = flag.Bool("json", false, "emit JSON instead of the text table")
 	)
 	flag.Parse()
+
+	switch {
+	case len(flag.Args()) > 0:
+		fmt.Fprintf(os.Stderr, "tables: unexpected arguments %q (tables takes only flags)\n", flag.Args())
+		os.Exit(2)
+	case *workers < 0:
+		fmt.Fprintf(os.Stderr, "tables: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	case *repeats < 1:
+		fmt.Fprintf(os.Stderr, "tables: -repeats must be >= 1, got %d\n", *repeats)
+		os.Exit(2)
+	case *resume && *checkpoint == "":
+		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	ids := []int{1, 2, 3, 4, 5, 6, 7}
 	if *table != 0 {
@@ -52,6 +71,12 @@ func main() {
 			Seed:               *seed,
 			RelativeRates:      *relative,
 			SelectivePromotion: *sel,
+			Workers:            *workers,
+			Repeats:            *repeats,
+			Resume:             *resume,
+		}
+		if *checkpoint != "" {
+			opt.Journal = fmt.Sprintf("%s.t%d", *checkpoint, id)
 		}
 		start := time.Now()
 		if !*quiet {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // formatPct renders a percentage the way the paper's tables do: three
@@ -25,14 +26,20 @@ func formatPct(p float64) string {
 
 // Format renders the result as a text table in the paper's layout: one row
 // per threshold, one column group per injection rate with one column per
-// message size.
+// message size. Multi-repeat results render each cell as mean±ci95 over
+// the repeats.
 func (r *Result) Format(w io.Writer) {
 	tbl := r.Table
 	fmt.Fprintf(w, "Table %d. Percentage of messages detected as possibly deadlocked (%s, %s traffic, %d-ary %d-cube).\n",
 		tbl.ID, tbl.Mechanism, tbl.PatternName, r.Options.K, r.Options.N)
-	fmt.Fprintf(w, "(*) marks cells in which actual deadlocks were detected.\n\n")
-
+	fmt.Fprintf(w, "(*) marks cells in which actual deadlocks were detected.\n")
 	colw := 8
+	withCI := r.Options.Repeats > 1
+	if withCI {
+		fmt.Fprintf(w, "Cells are mean±ci95 over %d repeats.\n", r.Options.Repeats)
+		colw = 14
+	}
+	fmt.Fprintln(w)
 	// Header line 1: injection rates.
 	fmt.Fprintf(w, "%-8s", "")
 	for ri, rate := range r.Rates {
@@ -60,10 +67,14 @@ func (r *Result) Format(w io.Writer) {
 			for si := range tbl.Sizes {
 				c := r.Cells[ti][ri][si]
 				v := formatPct(c.Pct)
+				if withCI {
+					v += "±" + formatPct(c.PctCI)
+				}
 				if c.TrueDeadlock {
 					v += "*"
 				}
-				fmt.Fprintf(w, "|%*s", colw-1, v)
+				// Pad on visible width: ± is multi-byte.
+				fmt.Fprintf(w, "|%*s", colw-1+len(v)-utf8.RuneCountInString(v), v)
 			}
 		}
 		fmt.Fprintln(w)

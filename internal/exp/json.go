@@ -17,6 +17,7 @@ type jsonResult struct {
 	Warmup      int64      `json:"warmup"`
 	Measure     int64      `json:"measure"`
 	Seed        uint64     `json:"seed"`
+	Repeats     int        `json:"repeats,omitempty"`
 	Relative    bool       `json:"relativeRates"`
 	Rates       []float64  `json:"rates"`
 	Thresholds  []int64    `json:"thresholds"`
@@ -41,6 +42,7 @@ func (r *Result) EncodeJSON(w io.Writer) error {
 		Warmup:      r.Options.Warmup,
 		Measure:     r.Options.Measure,
 		Seed:        r.Options.Seed,
+		Repeats:     r.Options.Repeats,
 		Relative:    r.Options.RelativeRates,
 		Rates:       r.Rates,
 		Thresholds:  r.Table.Thresholds,
@@ -82,7 +84,7 @@ func DecodeJSON(r io.Reader) (*Result, error) {
 	opt := Options{
 		K: jr.K, N: jr.N,
 		Warmup: jr.Warmup, Measure: jr.Measure,
-		Seed: jr.Seed, RelativeRates: jr.Relative,
+		Seed: jr.Seed, Repeats: jr.Repeats, RelativeRates: jr.Relative,
 	}
 	return &Result{Table: tbl, Options: opt, Rates: jr.Rates, Cells: jr.Cells}, nil
 }

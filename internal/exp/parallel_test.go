@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWorkersDeterministic: the measured table is bit-identical no
+// matter how many workers simulate it, and a journaled sweep resumes to
+// the same bytes.
+func TestRunWorkersDeterministic(t *testing.T) {
+	tbl, _ := PaperTable(2)
+	tbl.Thresholds = []int64{4, 32}
+	tbl.Sizes = []Size{SizeS}
+	tbl.Rates = []float64{0.3, 0.9}
+	opt := DefaultOptions()
+	opt.K, opt.N = 4, 2
+	opt.Warmup, opt.Measure = 200, 800
+	opt.Repeats = 2
+
+	render := func(o Options) []byte {
+		t.Helper()
+		res, err := Run(tbl, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	serialOpt := opt
+	serialOpt.Workers = 1
+	want := render(serialOpt)
+
+	parOpt := opt
+	parOpt.Workers = 4
+	if got := render(parOpt); !bytes.Equal(got, want) {
+		t.Fatal("4-worker table differs from 1-worker table")
+	}
+
+	// Journal a sweep, then resume against the complete journal: no cell
+	// re-runs and the output still matches.
+	jOpt := opt
+	jOpt.Workers = 4
+	jOpt.Journal = filepath.Join(t.TempDir(), "cells.jsonl")
+	if got := render(jOpt); !bytes.Equal(got, want) {
+		t.Fatal("journaled sweep differs")
+	}
+	jOpt.Resume = true
+	if got := render(jOpt); !bytes.Equal(got, want) {
+		t.Fatal("resumed sweep differs")
+	}
+}
+
+// TestRunRepeatsCI: multi-repeat cells report a CI and render it.
+func TestRunRepeatsCI(t *testing.T) {
+	tbl, _ := PaperTable(2)
+	tbl.Thresholds = []int64{2}
+	tbl.Sizes = []Size{SizeS}
+	tbl.Rates = []float64{1.2} // saturated on the small torus: detections happen
+	opt := DefaultOptions()
+	opt.K, opt.N = 4, 2
+	opt.Warmup, opt.Measure = 200, 1500
+	opt.Repeats = 3
+	res, err := Run(tbl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0][0][0]
+	if c.Pct <= 0 {
+		t.Fatalf("saturated cell detected nothing: %+v", c)
+	}
+	if c.PctStd > 0 && c.PctCI <= 0 {
+		t.Errorf("spread without CI: %+v", c)
+	}
+	want := 1.96 * c.PctStd / 1.7320508075688772 // sqrt(3)
+	if diff := c.PctCI - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("PctCI = %v, want %v", c.PctCI, want)
+	}
+	var buf bytes.Buffer
+	res.Format(&buf)
+	if !bytes.Contains(buf.Bytes(), []byte("±")) {
+		t.Error("multi-repeat table does not render ±ci")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("mean±ci95 over 3 repeats")) {
+		t.Error("missing repeats legend")
+	}
+}

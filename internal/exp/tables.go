@@ -6,11 +6,12 @@ package exp
 
 import (
 	"fmt"
+	"io"
 
 	"wormnet/internal/detect"
+	"wormnet/internal/harness"
 	"wormnet/internal/router"
 	"wormnet/internal/sim"
-	"wormnet/internal/stats"
 	"wormnet/internal/topology"
 	"wormnet/internal/traffic"
 )
@@ -152,6 +153,17 @@ type Options struct {
 	Promotion detect.PromotionPolicy
 	// Progress, when non-nil, is called after each finished cell.
 	Progress func(done, total int)
+	// Workers bounds the number of cells simulated concurrently; values
+	// < 1 select GOMAXPROCS. Results are independent of Workers: every
+	// run's seed is a pure function of (Seed, cell index, repeat index).
+	Workers int
+	// Journal is the path of a harness checkpoint journal ("" disables);
+	// with Resume, cells already journaled are loaded instead of re-run.
+	Journal string
+	Resume  bool
+	// ProgressWriter, when non-nil, receives the harness's live progress
+	// line (runs done, ETA, worker utilization).
+	ProgressWriter io.Writer
 }
 
 // DefaultOptions returns full-scale reproduction settings (the paper's
@@ -182,6 +194,9 @@ type Cell struct {
 	// PctStd is the across-repeat sample standard deviation of Pct (zero
 	// for single runs).
 	PctStd float64
+	// PctCI is the half-width of the 95% confidence interval for Pct
+	// (zero for single runs).
+	PctCI float64
 	// TrueDeadlock reports whether actual deadlocks were detected in this
 	// cell (the paper's "(*)" annotation) in any repeat.
 	TrueDeadlock bool
@@ -201,7 +216,12 @@ type Result struct {
 	Cells [][][]Cell
 }
 
-// Run reproduces a table. Each cell is an independent simulation run.
+// Run reproduces a table. Each (cell, repeat) is an independent simulation
+// run; the runs are scheduled across Options.Workers goroutines by the
+// sweep harness. The measured table is independent of Workers — every
+// run's seed is a pure function of (Options.Seed, cell index, repeat
+// index) — and, with Options.Journal set, an interrupted sweep resumes
+// from the journaled cells.
 func Run(tbl Table, opt Options) (*Result, error) {
 	if opt.K == 0 || opt.N == 0 {
 		return nil, fmt.Errorf("exp: options missing topology")
@@ -223,71 +243,94 @@ func Run(tbl Table, opt Options) (*Result, error) {
 		}
 	}
 	res := &Result{Table: tbl, Options: opt, Rates: rates}
-	total := len(tbl.Thresholds) * len(rates) * len(tbl.Sizes)
-	done := 0
+
+	// Expand the table grid into harness points in threshold -> rate ->
+	// size order, the order the legacy serial sweep used, so the per-cell
+	// seeds (and therefore every measured number) are unchanged.
+	var points []harness.Point
+	for _, th := range tbl.Thresholds {
+		for _, rate := range rates {
+			for _, size := range tbl.Sizes {
+				cfg, err := cellConfig(tbl, opt, th, rate, size)
+				if err != nil {
+					return nil, err
+				}
+				points = append(points, harness.Point{
+					Key:    fmt.Sprintf("th=%d/rate=%.6g/%s", th, rate, size.Key),
+					Config: cfg,
+				})
+			}
+		}
+	}
+	seed := opt.Seed
+	sweep, err := harness.Run(points, harness.Options{
+		Workers:    opt.Workers,
+		Replicates: max(opt.Repeats, 1),
+		BaseSeed:   opt.Seed,
+		// Legacy derivation, predating rng.Derive: keeps every published
+		// table reproducible from the same -seed.
+		SeedFunc: func(point, rep int) uint64 {
+			return seed + uint64(point)*0x9e3779b9 + uint64(rep)*0x2545f491
+		},
+		Journal:     opt.Journal,
+		Resume:      opt.Resume,
+		Progress:    opt.ProgressWriter,
+		OnPointDone: opt.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res.Cells = make([][][]Cell, len(tbl.Thresholds))
+	idx := 0
 	for ti, th := range tbl.Thresholds {
 		res.Cells[ti] = make([][]Cell, len(rates))
 		for ri, rate := range rates {
 			res.Cells[ti][ri] = make([]Cell, len(tbl.Sizes))
 			for si, size := range tbl.Sizes {
-				cell, err := runCell(tbl, opt, th, rate, size, uint64(done))
-				if err != nil {
-					return nil, err
+				pr := &sweep[idx]
+				idx++
+				if !pr.OK() {
+					return nil, fmt.Errorf("exp: cell %s: %s", pr.Key, pr.Err())
+				}
+				cell := Cell{Threshold: th, Rate: rate, SizeKey: size.Key}
+				pcts := pr.Metric((*sim.Result).PctMarked)
+				cell.Pct = pcts.Mean
+				cell.PctStd = pcts.Std
+				cell.PctCI = pcts.CI95
+				for _, r := range pr.Runs {
+					cell.TrueDeadlock = cell.TrueDeadlock || r.TrueMarked > 0
+					cell.Delivered += r.Delivered
+					cell.Marked += r.Marked
 				}
 				res.Cells[ti][ri][si] = cell
-				done++
-				if opt.Progress != nil {
-					opt.Progress(done, total)
-				}
 			}
 		}
 	}
 	return res, nil
 }
 
-func runCell(tbl Table, opt Options, th int64, rate float64, size Size, cellIdx uint64) (Cell, error) {
-	repeats := opt.Repeats
-	if repeats < 1 {
-		repeats = 1
+// cellConfig builds the simulation for one table cell; the harness fills in
+// the per-repeat seed.
+func cellConfig(tbl Table, opt Options, th int64, rate float64, size Size) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	cfg.K, cfg.N = opt.K, opt.N
+	cfg.Pattern = tbl.Pattern
+	cfg.Lengths = size.Dist
+	cfg.Load = rate
+	cfg.InjectionLimit = opt.InjectionLimit
+	cfg.Warmup, cfg.Measure = opt.Warmup, opt.Measure
+	switch tbl.Mechanism {
+	case MechPDM:
+		cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewPDM(f, th) }
+	case MechNDM:
+		cfg.Detector = func(f *router.Fabric) detect.Detector {
+			return detect.NewNDMOpt(f, 1, th, opt.Promotion)
+		}
+	default:
+		return cfg, fmt.Errorf("exp: unknown mechanism %q", tbl.Mechanism)
 	}
-	cell := Cell{Threshold: th, Rate: rate, SizeKey: size.Key}
-	var pcts stats.Series
-	for rep := 0; rep < repeats; rep++ {
-		cfg := sim.DefaultConfig()
-		cfg.K, cfg.N = opt.K, opt.N
-		cfg.Pattern = tbl.Pattern
-		cfg.Lengths = size.Dist
-		cfg.Load = rate
-		cfg.InjectionLimit = opt.InjectionLimit
-		cfg.Warmup, cfg.Measure = opt.Warmup, opt.Measure
-		cfg.Seed = opt.Seed + cellIdx*0x9e3779b9 + uint64(rep)*0x2545f491
-		switch tbl.Mechanism {
-		case MechPDM:
-			cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewPDM(f, th) }
-		case MechNDM:
-			cfg.Detector = func(f *router.Fabric) detect.Detector {
-				return detect.NewNDMOpt(f, 1, th, opt.Promotion)
-			}
-		default:
-			return Cell{}, fmt.Errorf("exp: unknown mechanism %q", tbl.Mechanism)
-		}
-		eng, err := sim.New(cfg)
-		if err != nil {
-			return Cell{}, err
-		}
-		r, err := eng.Run()
-		if err != nil {
-			return Cell{}, err
-		}
-		pcts.Add(r.PctMarked())
-		cell.TrueDeadlock = cell.TrueDeadlock || r.TrueMarked > 0
-		cell.Delivered += r.Delivered
-		cell.Marked += r.Marked
-	}
-	cell.Pct = pcts.Mean()
-	cell.PctStd = pcts.StdDev()
-	return cell, nil
+	return cfg, nil
 }
 
 // EstimateSaturation locates the saturation load of the configured network

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// progress renders throttled one-line status reports: points and runs
+// completed, an ETA extrapolated from the runs finished this session, and
+// worker utilization. All output goes to the writer handed to Options
+// (stderr in the CLIs), never stdout, so sweep output stays clean.
+type progress struct {
+	w           io.Writer
+	start       time.Time
+	last        time.Time
+	every       time.Duration
+	totalPoints int
+	totalRuns   int
+	sessionRuns int // runs to execute this session (excludes resumed ones)
+	width       int
+	wrote       bool
+}
+
+func newProgress(w io.Writer, totalPoints, totalRuns, sessionRuns int) *progress {
+	return &progress{
+		w:           w,
+		start:       time.Now(),
+		every:       200 * time.Millisecond,
+		totalPoints: totalPoints,
+		totalRuns:   totalRuns,
+		sessionRuns: sessionRuns,
+	}
+}
+
+// report emits a status line when forced or when the throttle interval has
+// elapsed. sessionDone counts runs finished this session, the basis of the
+// ETA; busy is the number of workers executing right now.
+func (p *progress) report(pointsDone, runsDone, sessionDone, busy int, force bool) {
+	if p.w == nil {
+		return
+	}
+	now := time.Now()
+	if !force && now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+
+	eta := "--"
+	if sessionDone > 0 && sessionDone < p.sessionRuns {
+		perRun := now.Sub(p.start) / time.Duration(sessionDone)
+		eta = (perRun * time.Duration(p.sessionRuns-sessionDone)).Round(time.Second).String()
+	}
+	line := fmt.Sprintf("harness: %d/%d points | %d/%d runs | eta %s | workers %d busy",
+		pointsDone, p.totalPoints, runsDone, p.totalRuns, eta, busy)
+	// Pad to cover the previous line when rewriting in place.
+	pad := ""
+	if n := p.width - len(line); n > 0 {
+		pad = strings.Repeat(" ", n)
+	}
+	p.width = len(line)
+	fmt.Fprintf(p.w, "\r%s%s", line, pad)
+	p.wrote = true
+}
+
+// finish terminates the in-place status line.
+func (p *progress) finish() {
+	if p.w == nil || !p.wrote {
+		return
+	}
+	fmt.Fprintln(p.w)
+}

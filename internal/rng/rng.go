@@ -49,6 +49,38 @@ func (s *Source) Split() *Source {
 	return New(s.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// Derive deterministically maps a base seed plus a path of indices to a new
+// seed. It is a pure function of its arguments — no generator state is
+// involved — so the result is stable across processes and machines, which is
+// what lets a parallel sweep reproduce a serial one bit for bit: run
+// (point p, replicate r) of a sweep with base seed s always simulates with
+// seed Derive(s, p, r), no matter which worker picks it up or in what order.
+//
+// Each step feeds the previous output plus an odd-multiplier spread of the
+// index back through SplitMix64, so at every level distinct indices yield
+// distinct inputs to the finalizer (the pre-mix is bijective in the index).
+func Derive(seed uint64, indices ...uint64) uint64 {
+	st := seed
+	out := splitMix64(&st)
+	for _, idx := range indices {
+		st = out + idx*0xd1b54a32d192ed03
+		out = splitMix64(&st)
+	}
+	return out
+}
+
+// Fork returns a new Source derived from s's current state and index,
+// without consuming any values from s. Forks taken at the same parent state
+// with distinct indices produce independent streams; forking is therefore
+// safe to do once per worker or per sub-component regardless of the order
+// in which the forks are later used.
+func (s *Source) Fork(index uint64) *Source {
+	// Fold the full 256-bit state into the derivation so forks of distinct
+	// parents are unrelated even when their indices collide.
+	h := s.s0 ^ rotl(s.s1, 13) ^ rotl(s.s2, 29) ^ rotl(s.s3, 43)
+	return New(Derive(h, index))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

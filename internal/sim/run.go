@@ -1,0 +1,13 @@
+package sim
+
+// Run builds an Engine from cfg and runs it to completion. It is the
+// one-shot entry point used by the parallel sweep harness: every run is an
+// independent Engine whose randomness comes solely from cfg.Seed, so runs
+// may execute on any goroutine in any order without affecting results.
+func Run(cfg Config) (*Result, error) {
+	eng, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -140,6 +141,68 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.total += other.total
 	h.sum += other.sum
 	h.samples = true
+}
+
+// histogramJSON is the serialized form of a Histogram, used by the sweep
+// harness to journal per-run distributions so a resumed sweep aggregates
+// exactly what a fresh one would.
+type histogramJSON struct {
+	Growth float64 `json:"growth"`
+	Counts []int64 `json:"counts,omitempty"`
+	Total  int64   `json:"total"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// MarshalJSON encodes the histogram, including exact sum and extremes.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	// Trim trailing empty buckets so equivalent histograms serialize
+	// identically regardless of transient bucket-slice growth.
+	counts := h.counts
+	for len(counts) > 0 && counts[len(counts)-1] == 0 {
+		counts = counts[:len(counts)-1]
+	}
+	return json.Marshal(histogramJSON{
+		Growth: h.growth,
+		Counts: counts,
+		Total:  h.total,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	})
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var j histogramJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Growth <= 1 {
+		return fmt.Errorf("stats: histogram growth %v out of range", j.Growth)
+	}
+	var total int64
+	for _, c := range j.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: negative bucket count %d", c)
+		}
+		total += c
+	}
+	if total != j.Total {
+		return fmt.Errorf("stats: histogram total %d does not match bucket sum %d", j.Total, total)
+	}
+	*h = Histogram{
+		growth:  j.Growth,
+		logG:    math.Log(j.Growth),
+		counts:  j.Counts,
+		total:   j.Total,
+		sum:     j.Sum,
+		min:     j.Min,
+		max:     j.Max,
+		samples: j.Total > 0,
+	}
+	return nil
 }
 
 // String renders a compact summary with common percentiles.

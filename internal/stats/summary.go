@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary condenses a scalar metric observed over N replicate runs into the
+// numbers the experiment tables report: the sample mean, the sample standard
+// deviation, and the half-width of a 95% confidence interval for the mean
+// (normal approximation). The zero value describes an empty sample.
+type Summary struct {
+	// N is the number of observations summarized.
+	N int `json:"n"`
+	// Mean is the sample mean (0 when N == 0).
+	Mean float64 `json:"mean"`
+	// Std is the sample standard deviation with n-1 normalization (0 when
+	// N < 2).
+	Std float64 `json:"std,omitempty"`
+	// CI95 is the 95% confidence half-width, 1.96*Std/sqrt(N) (0 when N < 2).
+	CI95 float64 `json:"ci95,omitempty"`
+	// Min and Max are the observed extremes (0 when N == 0).
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Summarize computes the Summary of vals. The computation is sequential and
+// depends only on the order of vals, so callers that fix the order (e.g. by
+// replicate index) get bit-identical summaries regardless of how the
+// observations were produced.
+func Summarize(vals []float64) Summary {
+	s := Summary{N: len(vals)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range vals {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N-1))
+	s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	return s
+}
+
+// String renders "mean ± ci95" for multi-observation summaries and the bare
+// mean otherwise.
+func (s Summary) String() string {
+	if s.N < 2 {
+		return fmt.Sprintf("%.4f", s.Mean)
+	}
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean, s.CI95)
+}

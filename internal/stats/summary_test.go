@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeHandComputed(t *testing.T) {
+	// vals = {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance
+	// sum((v-5)^2)/(8-1) = 32/7, std = sqrt(32/7), ci95 = 1.96*std/sqrt(8).
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(vals)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almost(s.Mean, 5) {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if !almost(s.Std, wantStd) {
+		t.Errorf("std = %v, want %v", s.Std, wantStd)
+	}
+	wantCI := 1.96 * wantStd / math.Sqrt(8)
+	if !almost(s.CI95, wantCI) {
+		t.Errorf("ci95 = %v, want %v", s.CI95, wantCI)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("extremes = %v..%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.CI95 != 0 {
+		t.Errorf("singleton summary = %+v", s)
+	}
+	if s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("singleton extremes = %v..%v", s.Min, s.Max)
+	}
+	// Constant sample: zero spread, exact mean.
+	c := Summarize([]float64{2, 2, 2, 2})
+	if c.Mean != 2 || c.Std != 0 || c.CI95 != 0 {
+		t.Errorf("constant summary = %+v", c)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := Summarize([]float64{1}).String(); got != "1.0000" {
+		t.Errorf("singleton String = %q", got)
+	}
+	multi := Summarize([]float64{1, 3}).String()
+	if multi == "" || multi == "2.0000" {
+		t.Errorf("multi String = %q, want mean ± ci", multi)
+	}
+}
+
+func TestHistogramMergeEmptyIntoNonEmpty(t *testing.T) {
+	// Merging into an empty histogram must adopt the other's extremes
+	// rather than keeping the zero-value min.
+	empty := NewHistogram(1.5)
+	full := NewHistogram(1.5)
+	for _, v := range []int64{10, 20, 30} {
+		full.Add(v)
+	}
+	empty.Merge(full)
+	if empty.Count() != 3 || empty.Min() != 10 || empty.Max() != 30 {
+		t.Errorf("empty.Merge(full): %s", empty)
+	}
+	if empty.Mean() != 20 {
+		t.Errorf("mean = %v", empty.Mean())
+	}
+
+	// And the reverse direction leaves the non-empty side untouched.
+	full2 := NewHistogram(1.5)
+	for _, v := range []int64{10, 20, 30} {
+		full2.Add(v)
+	}
+	full2.Merge(NewHistogram(1.5))
+	if full2.Count() != 3 || full2.Min() != 10 || full2.Max() != 30 {
+		t.Errorf("full.Merge(empty): %s", full2)
+	}
+}
+
+func TestHistogramMergeDisjointRanges(t *testing.T) {
+	lo, hi := NewHistogram(1.25), NewHistogram(1.25)
+	for i := int64(1); i <= 10; i++ {
+		lo.Add(i)
+	}
+	for i := int64(1000); i < 1010; i++ {
+		hi.Add(i)
+	}
+	lo.Merge(hi)
+	if lo.Count() != 20 || lo.Min() != 1 || lo.Max() != 1009 {
+		t.Fatalf("disjoint merge: %s", lo)
+	}
+	// The median sits in the gap; the p90 must land in the upper cluster.
+	if q := lo.Quantile(0.9); q < 500 {
+		t.Errorf("p90 = %d, want within the upper cluster", q)
+	}
+	if q := lo.Quantile(0.25); q > 500 {
+		t.Errorf("p25 = %d, want within the lower cluster", q)
+	}
+}
+
+func TestHistogramMergeQuantileStability(t *testing.T) {
+	// Quantiles of a merged histogram must equal quantiles of a single
+	// histogram fed all samples: merging shards (as the parallel harness
+	// does per replicate) cannot change the distribution.
+	whole := NewHistogram(1.25)
+	shards := []*Histogram{NewHistogram(1.25), NewHistogram(1.25), NewHistogram(1.25)}
+	for i := int64(0); i < 3000; i++ {
+		v := (i * 7919) % 2048 // deterministic spread over several buckets
+		whole.Add(v)
+		shards[i%3].Add(v)
+	}
+	merged := NewHistogram(1.25)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merged %s vs whole %s", merged, whole)
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Errorf("quantile %.2f: merged %d, whole %d", q, m, w)
+		}
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(1.25)
+	for i := int64(0); i < 500; i++ {
+		h.Add(i * i % 700)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() || back.Mean() != h.Mean() ||
+		back.Min() != h.Min() || back.Max() != h.Max() {
+		t.Fatalf("round trip lost moments: %s vs %s", &back, h)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if back.Quantile(q) != h.Quantile(q) {
+			t.Errorf("quantile %v differs after round trip", q)
+		}
+	}
+	// Re-serialization is byte-identical (resume determinism).
+	data2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("re-serialization differs:\n%s\n%s", data, data2)
+	}
+	// A restored histogram is live: it accepts further samples and merges.
+	back.Add(9999)
+	if back.Max() != 9999 {
+		t.Error("restored histogram did not accept new samples")
+	}
+}
+
+func TestHistogramJSONEmptyAndErrors(t *testing.T) {
+	empty := NewHistogram(2)
+	data, err := json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 0 {
+		t.Errorf("empty round trip has %d samples", back.Count())
+	}
+	back.Add(5)
+	if back.Min() != 5 || back.Max() != 5 {
+		t.Error("restored empty histogram mishandled first sample")
+	}
+
+	for _, bad := range []string{
+		`{"growth":0.5,"total":0,"sum":0,"min":0,"max":0}`,
+		`{"growth":1.5,"counts":[1,2],"total":5,"sum":0,"min":0,"max":0}`,
+		`{"growth":1.5,"counts":[-1],"total":-1,"sum":0,"min":0,"max":0}`,
+		`{broken`,
+	} {
+		var h Histogram
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("accepted invalid histogram JSON %s", bad)
+		}
+	}
+}

@@ -355,6 +355,29 @@ func (c Config) simConfig() (sim.Config, error) {
 	return sc, nil
 }
 
+// SimConfig expands the public configuration into the internal simulation
+// config consumed by the sim engine and the sweep harness
+// (internal/harness). Tools inside this module use it to build harness
+// points from the same configuration surface Run accepts.
+func (c Config) SimConfig() (sim.Config, error) {
+	return c.simConfig()
+}
+
+// ResultFromSim converts a raw engine result into the public Result,
+// deriving the reported latency and detection-delay percentiles.
+func ResultFromSim(r *sim.Result) *Result {
+	return &Result{
+		Metrics:        r.Counters,
+		DetectorName:   r.Detector,
+		TotalCycles:    r.TotalCycles,
+		LatencyP50:     r.LatencyHist.Quantile(0.50),
+		LatencyP95:     r.LatencyHist.Quantile(0.95),
+		LatencyP99:     r.LatencyHist.Quantile(0.99),
+		DetectDelayP50: r.DetectDelayHist.Quantile(0.50),
+		DetectDelayP99: r.DetectDelayHist.Quantile(0.99),
+	}
+}
+
 // Run executes the simulation described by cfg and returns its metrics.
 func Run(cfg Config) (*Result, error) {
 	sc, err := cfg.simConfig()
@@ -369,16 +392,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Metrics:        r.Counters,
-		DetectorName:   r.Detector,
-		TotalCycles:    r.TotalCycles,
-		LatencyP50:     r.LatencyHist.Quantile(0.50),
-		LatencyP95:     r.LatencyHist.Quantile(0.95),
-		LatencyP99:     r.LatencyHist.Quantile(0.99),
-		DetectDelayP50: r.DetectDelayHist.Quantile(0.50),
-		DetectDelayP99: r.DetectDelayHist.Quantile(0.99),
-	}, nil
+	return ResultFromSim(r), nil
 }
 
 // Observe runs the simulation like Run, additionally invoking fn every
@@ -431,6 +445,17 @@ type TableOptions struct {
 	RelativeRates bool
 	// SelectivePromotion runs NDM with the selective P->G variant.
 	SelectivePromotion bool
+	// Workers bounds concurrent cell simulations; 0 means GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
+	// Repeats runs each cell this many times with independently derived
+	// seeds and reports mean±ci95; 0 or 1 means a single run.
+	Repeats int
+	// Journal, if non-empty, is a JSONL checkpoint file recording each
+	// completed (cell, repeat) run; with Resume set, runs already in the
+	// journal are reused instead of re-simulated.
+	Journal string
+	Resume  bool
 	// Progress, if non-nil, receives (done, total) after each cell.
 	Progress func(done, total int)
 }
@@ -489,6 +514,10 @@ func RunPaperTable(id int, opt TableOptions) (*TableResult, error) {
 	if opt.SelectivePromotion {
 		eo.Promotion = detect.PromoteWaiting
 	}
+	eo.Workers = opt.Workers
+	eo.Repeats = opt.Repeats
+	eo.Journal = opt.Journal
+	eo.Resume = opt.Resume
 	eo.Progress = opt.Progress
 	res, err := exp.Run(tbl, eo)
 	if err != nil {
