@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke bench-harness clean
+.PHONY: all build test race vet smoke bench-harness bench-kernel profile clean
 
 all: vet test
 
@@ -36,6 +36,21 @@ smoke: build
 bench-harness:
 	$(GO) test -run NONE -bench 'BenchmarkSweep' -benchtime 2x \
 		./internal/harness/ | tee results/harness_bench.txt
+
+# Hot-path kernel benchmarks (engine cycle + deadlock oracle) with
+# allocation reporting; writes results/kernel_bench.txt. The oracle and
+# engine Step must report 0 allocs/op.
+bench-kernel:
+	$(GO) test -run NONE -bench 'EngineStep|Oracle' -benchmem -benchtime 2s \
+		. | tee results/kernel_bench.txt
+
+# CPU and heap profiles of the kernel benchmarks; writes pprof artifacts
+# under results/. Inspect with: go tool pprof results/cpu.pprof
+profile:
+	$(GO) test -run NONE -bench 'EngineStepSaturation|OracleSaturation' \
+		-benchtime 2s -cpuprofile results/cpu.pprof -memprofile results/mem.pprof \
+		. | tee results/profile_bench.txt
+	@echo "profile: wrote results/cpu.pprof and results/mem.pprof"
 
 clean:
 	rm -f /tmp/wormnet-loadsweep /tmp/wormnet-serial.json \

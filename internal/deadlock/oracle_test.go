@@ -149,10 +149,64 @@ func TestVictimRemovalBreaksDeadlock(t *testing.T) {
 	if len(o.Deadlocked()) != 8 {
 		t.Fatal("setup: no deadlock")
 	}
-	// Recovery marks ms[0]: it is draining, no longer blocked.
+	// Recovery marks ms[0]: it is draining, no longer blocked. A pure phase
+	// change is invisible to the fabric's generation counter, so the owner
+	// must invalidate the cached set explicitly (as sim.Engine.mark does).
 	ms[0].Phase = router.PhaseRecovering
+	o.Invalidate()
 	if got := o.Deadlocked(); len(got) != 0 {
 		t.Fatalf("deadlock persists after victim marked: %v", got)
+	}
+}
+
+// TestCachedResultAndGenTracking: the cached set is returned while the
+// fabric generation is unchanged, a VC release invalidates it
+// automatically, and CrossCheck accepts a correctly maintained cache.
+func TestCachedResultAndGenTracking(t *testing.T) {
+	f := ringFabric(t)
+	o := New(f)
+	var ms []*router.Message
+	for i := 0; i < 8; i++ {
+		ms = append(ms, blockAt(t, f, f.NetLink(i, 0), (i+1+3)%8))
+	}
+	if len(o.Deadlocked()) != 8 {
+		t.Fatal("setup: no deadlock")
+	}
+	if err := o.CrossCheck(); err != nil {
+		t.Fatalf("CrossCheck on fresh cache: %v", err)
+	}
+	// Unchanged fabric: repeated evaluations answer from the cache.
+	if len(o.Deadlocked()) != 8 || len(o.Deadlocked()) != 8 {
+		t.Fatal("cached evaluation diverged")
+	}
+	// Releasing one worm bumps the fabric generation; the next evaluation
+	// must recompute without an explicit Invalidate.
+	f.ReleaseWorm(ms[0])
+	ms[0].Phase = router.PhaseAborted
+	if got := o.Deadlocked(); len(got) != 0 {
+		t.Fatalf("stale cache survived a VC release: %v", got)
+	}
+	if err := o.CrossCheck(); err != nil {
+		t.Fatalf("CrossCheck after release: %v", err)
+	}
+}
+
+// TestCrossCheckDetectsMissedInvalidate: a phase mutation hidden from both
+// the generation counter and Invalidate makes the cache stale, and
+// CrossCheck reports it.
+func TestCrossCheckDetectsMissedInvalidate(t *testing.T) {
+	f := ringFabric(t)
+	o := New(f)
+	for i := 0; i < 8; i++ {
+		blockAt(t, f, f.NetLink(i, 0), (i+1+3)%8)
+	}
+	set := o.Deadlocked()
+	if len(set) != 8 {
+		t.Fatal("setup: no deadlock")
+	}
+	f.Msg(set[0]).Phase = router.PhaseRecovering // deliberately not reported
+	if err := o.CrossCheck(); err == nil {
+		t.Fatal("CrossCheck missed a stale cached set")
 	}
 }
 

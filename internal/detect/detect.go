@@ -51,7 +51,14 @@ type Detector interface {
 	// EndCycle is invoked once per cycle after all flit movement. txLinks
 	// lists every physical channel a flit was transmitted across this cycle
 	// (each at most once), and transmitted is the same information as a
-	// bitmap indexed by LinkID.
+	// bitmap indexed by LinkID. Both are scratch buffers owned by the engine
+	// and reused every cycle: implementations must not retain them past the
+	// call. txLinks is empty on a quiescent cycle — no flit moved anywhere —
+	// and implementations must keep their inactivity counters running across
+	// arbitrarily long quiescent stretches (the engine iterates only
+	// Fabric.BusyLinks for that, and separately relies on quiescence to
+	// short-circuit its deadlock oracle, so EndCycle must not mutate fabric
+	// state).
 	EndCycle(now int64, txLinks []router.LinkID, transmitted []bool)
 }
 

@@ -182,7 +182,20 @@ type Fabric struct {
 	// failed marks physical channels taken out of service by fault
 	// injection; routing algorithms skip them.
 	failed []bool
+
+	// gen counts structural changes that can affect routing and deadlock
+	// analysis: every VC allocation or release and every link failure or
+	// repair bumps it. Observers (the deadlock oracle) compare generations
+	// to detect that cached analyses are still current. Message-level state
+	// (Phase, Attempts) is not covered; owners report those separately.
+	gen uint64
+
+	// wormBuf is ReleaseWorm's reusable result buffer.
+	wormBuf []VCID
 }
+
+// Gen returns the structural generation counter.
+func (f *Fabric) Gen() uint64 { return f.gen }
 
 // NewFabric builds the fabric for the given topology and configuration.
 func NewFabric(t *topology.Torus, cfg Config) (*Fabric, error) {
@@ -258,10 +271,10 @@ func NewFabric(t *topology.Torus, cfg Config) (*Fabric, error) {
 // FailLink takes a physical channel out of service. Routing algorithms
 // will no longer propose it. The caller (the engine) is responsible for
 // evicting any worms currently holding its virtual channels.
-func (f *Fabric) FailLink(l LinkID) { f.failed[l] = true }
+func (f *Fabric) FailLink(l LinkID) { f.failed[l] = true; f.gen++ }
 
 // RepairLink returns a failed channel to service.
-func (f *Fabric) RepairLink(l LinkID) { f.failed[l] = false }
+func (f *Fabric) RepairLink(l LinkID) { f.failed[l] = false; f.gen++ }
 
 // LinkFailed reports whether channel l is out of service.
 func (f *Fabric) LinkFailed(l LinkID) bool { return f.failed[l] }
@@ -292,6 +305,7 @@ func (f *Fabric) OccupantsOf(l LinkID) []MsgID {
 
 // addOccupied registers vc in the occupancy structures.
 func (f *Fabric) addOccupied(vc VCID) {
+	f.gen++
 	l := f.VCs[vc].Link
 	f.busy[l]++
 	if f.busy[l] == 1 {
@@ -304,6 +318,7 @@ func (f *Fabric) addOccupied(vc VCID) {
 
 // removeOccupied unregisters vc (swap-remove).
 func (f *Fabric) removeOccupied(vc VCID) {
+	f.gen++
 	l := f.VCs[vc].Link
 	f.busy[l]--
 	if f.busy[l] == 0 {
@@ -488,9 +503,11 @@ func (f *Fabric) ReleaseEmptyVC(u VCID) {
 
 // ReleaseWorm frees every virtual channel still held by message m, dropping
 // any buffered flits. It is used by regressive (abort-and-retry) recovery.
-// It returns the freed VCs so the caller can raise flow-control events.
+// It returns the freed VCs so the caller can raise flow-control events; the
+// slice is a reusable scratch buffer invalidated by the next ReleaseWorm
+// call, so callers must consume (or copy) it immediately.
 func (f *Fabric) ReleaseWorm(m *Message) []VCID {
-	var freed []VCID
+	freed := f.wormBuf[:0]
 	for vc := m.TailVC; vc != NilVC; {
 		next := f.VCs[vc].Next
 		f.VCs[vc].Flits = 0
@@ -500,6 +517,7 @@ func (f *Fabric) ReleaseWorm(m *Message) []VCID {
 	}
 	m.TailVC = NilVC
 	m.HeadVC = NilVC
+	f.wormBuf = freed
 	return freed
 }
 
@@ -544,16 +562,14 @@ func (f *Fabric) FreeMessage(m *Message) {
 	f.free = append(f.free, id)
 }
 
-// LiveMessages calls fn for every message currently occupying fabric
-// resources or being injected. Intended for oracles, debugging and tests,
-// not the per-cycle fast path.
+// LiveMessages calls fn for every message that is currently allocated (in a
+// source queue, occupying fabric resources, being injected, or retained
+// after delivery). It does not allocate: FreeMessage zeroes a recycled
+// entry's Length, so pool membership is encoded in the entries themselves
+// and the free list never needs to be consulted.
 func (f *Fabric) LiveMessages(fn func(*Message)) {
-	freeSet := make(map[MsgID]bool, len(f.free))
-	for _, id := range f.free {
-		freeSet[id] = true
-	}
-	for i, m := range f.msgs {
-		if !freeSet[MsgID(i)] && m.Length > 0 {
+	for _, m := range f.msgs {
+		if m.Length > 0 {
 			fn(m)
 		}
 	}

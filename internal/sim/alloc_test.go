@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/router"
+)
+
+// TestStepSteadyStateAllocationFree: once the network has warmed up, a
+// simulation cycle must not allocate — the source queues are ring buffers,
+// the engine's scratch buffers are pre-sized from the fabric geometry, and
+// the deadlock oracle runs on epoch-stamped flat arrays. The run is held in
+// the warm-up phase so histogram growth (a legitimate, amortized cost of
+// the measurement window) does not mask a hot-path regression.
+func TestStepSteadyStateAllocationFree(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Debug = false
+	cfg.Load = 1.5
+	cfg.InjectionLimit = -1
+	cfg.Warmup = 1 << 40
+	cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewNDM(f, 16) }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Step allocates %.3f times per cycle, want 0", avg)
+	}
+}

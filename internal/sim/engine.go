@@ -51,7 +51,7 @@ type Engine struct {
 
 	// Per-node FIFO source queues of messages waiting for an injection
 	// port (both freshly generated and recovered messages).
-	queues [][]router.MsgID
+	queues []msgQueue
 	// Messages whose source is still pushing flits into an injection port.
 	injecting []router.MsgID
 	// Messages whose header is waiting to be routed. Headers that arrived
@@ -114,14 +114,33 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.gen = traffic.NewGenerator(cfg.Pattern(topo), cfg.Lengths, cfg.Load)
 	}
-	e.queues = make([][]router.MsgID, topo.Nodes())
+	e.queues = make([]msgQueue, topo.Nodes())
 	e.transmitted = make([]bool, fab.NumLinks())
 	e.flitsAtStart = make([]int32, len(fab.VCs))
-	e.feeders = make([][]router.VCID, fab.NumLinks())
 	e.inputUsedAt = make([]int64, fab.NumLinks())
 	for i := range e.inputUsedAt {
 		e.inputUsedAt[i] = -1
 	}
+	// Pre-size the per-cycle scratch buffers to their geometric maxima so
+	// the steady-state hot path never grows them: each target VC has at
+	// most one upstream feeder (worms occupy distinct VCs), at most every
+	// link can transmit in one cycle, and a routing decision considers at
+	// most every outgoing link (plus delivery ports) of one router.
+	e.feeders = make([][]router.VCID, fab.NumLinks())
+	maxVC := int32(0)
+	for l := range e.feeders {
+		n := fab.Links[l].NumVC
+		e.feeders[l] = make([]router.VCID, 0, n)
+		if n > maxVC {
+			maxVC = n
+		}
+	}
+	e.txLinks = make([]router.LinkID, 0, fab.NumLinks())
+	e.activeLinks = make([]router.LinkID, 0, fab.NumLinks())
+	maxCands := topo.Degree() + cfg.Router.DelPorts
+	e.candBuf = make([]router.LinkID, 0, maxCands)
+	e.vcCandBuf = make([]router.VCID, 0, maxCands*int(maxVC))
+	e.deliveryVCs = make([]router.VCID, 0, topo.Nodes()*cfg.Router.DelPorts)
 	for node := 0; node < topo.Nodes(); node++ {
 		for p := 0; p < cfg.Router.DelPorts; p++ {
 			l := fab.DelLink(node, p)
@@ -140,6 +159,9 @@ func (e *Engine) Topology() *topology.Torus { return e.topo }
 
 // Detector exposes the active detection mechanism.
 func (e *Engine) Detector() detect.Detector { return e.det }
+
+// Oracle exposes the global deadlock oracle (for benchmarks and tools).
+func (e *Engine) Oracle() *deadlock.Oracle { return e.oracle }
 
 // Now returns the current cycle.
 func (e *Engine) Now() int64 { return e.now }
@@ -187,7 +209,7 @@ func (e *Engine) RepairLink(l router.LinkID) { e.fab.RepairLink(l) }
 func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
 	m := e.fab.NewMessage(src, dst, length, e.now)
 	m.Phase = router.PhaseQueued
-	e.queues[src] = append(e.queues[src], m.ID)
+	e.queues[src].Push(m.ID)
 	if e.measuring {
 		e.st.Generated++
 	}
@@ -253,6 +275,9 @@ func (e *Engine) Step() error {
 		if err := e.fab.CheckInvariants(); err != nil {
 			return fmt.Errorf("cycle %d: %w", e.now, err)
 		}
+		if err := e.oracle.CrossCheck(); err != nil {
+			return fmt.Errorf("cycle %d: %w", e.now, err)
+		}
 	}
 	e.now++
 	return nil
@@ -263,7 +288,7 @@ func (e *Engine) Step() error {
 
 func (e *Engine) generate() {
 	for node := 0; node < e.topo.Nodes(); node++ {
-		if len(e.queues[node]) >= e.cfg.MaxSourceQueue {
+		if e.queues[node].Len() >= e.cfg.MaxSourceQueue {
 			// Source queue full: generation pauses at this node (offered
 			// load is capped, which is inevitable beyond saturation).
 			continue
@@ -274,7 +299,7 @@ func (e *Engine) generate() {
 		}
 		m := e.fab.NewMessage(node, dst, length, e.now)
 		m.Phase = router.PhaseQueued
-		e.queues[node] = append(e.queues[node], m.ID)
+		e.queues[node].Push(m.ID)
 		if e.measuring {
 			e.st.Generated++
 		}
@@ -287,21 +312,31 @@ func (e *Engine) generate() {
 func (e *Engine) admit() {
 	limit := e.cfg.InjectionLimit
 	for node := 0; node < e.topo.Nodes(); node++ {
-		q := e.queues[node]
-		if len(q) == 0 {
+		q := &e.queues[node]
+		if q.Len() == 0 {
 			continue
 		}
-		if limit >= 0 && e.fab.BusyNetOutputVCs(node) > limit {
-			continue
+		// The injection-limitation check must be re-evaluated per admission,
+		// not once per node: a router with several injection ports would
+		// otherwise admit up to InjPorts messages in the cycle the busy
+		// count is still at the threshold, overshooting the limit. Each
+		// message admitted this cycle will occupy a network output VC before
+		// the count is observed again, so it is charged immediately.
+		busy := 0
+		if limit >= 0 {
+			busy = e.fab.BusyNetOutputVCs(node)
 		}
-		for p := 0; p < e.cfg.Router.InjPorts && len(q) > 0; p++ {
+		for p := 0; p < e.cfg.Router.InjPorts && q.Len() > 0; p++ {
+			if limit >= 0 && busy > limit {
+				break
+			}
 			l := e.fab.InjLink(node, p)
 			vc := e.fab.FreeVC(l)
 			if vc == router.NilVC {
 				continue
 			}
-			m := e.fab.Msg(q[0])
-			q = q[1:]
+			m := e.fab.Msg(q.Pop())
+			busy++
 			m.Phase = router.PhaseNetwork
 			m.InjLink = l
 			m.InjectTime = e.now
@@ -313,7 +348,6 @@ func (e *Engine) admit() {
 				e.st.Injected++
 			}
 		}
-		e.queues[node] = q
 	}
 }
 
@@ -486,6 +520,10 @@ func (e *Engine) route() {
 		first := m.Attempts == 1
 		if first {
 			m.BlockedSince = e.now
+			// Attempts 0 -> 1 adds this message to the oracle's blocked-set
+			// seed without touching fabric state, so the cached deadlocked
+			// set must be invalidated explicitly.
+			e.oracle.Invalidate()
 		}
 		// The feasible output physical channels, for the detection
 		// hardware (candidate VCs are grouped by link, so deduplicate
@@ -524,6 +562,11 @@ func (e *Engine) mark(m *router.Message) {
 		e.delayHist.Add(e.now - m.BlockedSince)
 	}
 	e.rec.Mark(m, e.now)
+	// Progressive recovery flips the message to PhaseRecovering without
+	// releasing a VC, which silently removes it from the oracle's seed;
+	// regressive recovery releases the worm (tracked by the fabric's
+	// generation counter), so the call is redundant but harmless there.
+	e.oracle.Invalidate()
 }
 
 // runOracle evaluates the global deadlock oracle at most once per cycle.
@@ -612,7 +655,7 @@ func (e *Engine) requeue(m *router.Message, node int) {
 	m.Marked = false
 	m.InjLink = router.NilLink
 	m.Retries++
-	e.queues[node] = append(e.queues[node], m.ID)
+	e.queues[node].Push(m.ID)
 	if e.measuring {
 		e.st.Reinjected++
 	}

@@ -1,0 +1,53 @@
+package sim
+
+import "wormnet/internal/router"
+
+// msgQueue is a FIFO of message IDs backed by a ring buffer. The engine's
+// per-node source queues previously re-sliced a plain slice (q = q[1:]) on
+// every pop, which kept every popped slot's backing array live for the whole
+// run and forced append to reallocate in steady state; the ring reuses its
+// backing array forever, so saturated runs neither retain popped IDs nor
+// allocate once the queue has reached its working depth.
+type msgQueue struct {
+	buf  []router.MsgID
+	head int
+	n    int
+}
+
+// Len returns the number of queued IDs.
+func (q *msgQueue) Len() int { return q.n }
+
+// Push appends id at the back.
+func (q *msgQueue) Push(id router.MsgID) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = id
+	q.n++
+}
+
+// Pop removes and returns the front ID. It panics on an empty queue (an
+// engine bug: admission checks Len first).
+func (q *msgQueue) Pop() router.MsgID {
+	if q.n == 0 {
+		panic("sim: Pop from empty source queue")
+	}
+	id := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return id
+}
+
+// grow doubles the backing array, linearizing the ring.
+func (q *msgQueue) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]router.MsgID, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

@@ -10,8 +10,9 @@ import (
 
 // Histogram accumulates int64 samples (latencies, queue depths, blocked
 // durations) in logarithmic buckets, supporting approximate quantiles with
-// bounded relative error and O(1) insertion. Bucket b covers values in
-// [floor(growth^b), floor(growth^(b+1))).
+// bounded relative error and O(1) insertion. Bucket 0 holds samples <= 0;
+// bucket b >= 1 covers roughly [growth^(b-1), growth^b), with the exact
+// integer boundaries defined by bucket and mirrored by lowerBound.
 type Histogram struct {
 	growth  float64
 	logG    float64
@@ -40,12 +41,34 @@ func (h *Histogram) bucket(v int64) int {
 	return int(math.Log(float64(v))/h.logG) + 1
 }
 
-// lowerBound returns the smallest value falling into bucket b.
+// lowerBound returns the smallest value that bucket maps into bucket b (or
+// into a later bucket, for indices no integer value maps to exactly). It is
+// defined in terms of bucket itself, so for every sample v the invariant
+// lowerBound(bucket(v)) <= v < lowerBound(bucket(v)+1) holds even where
+// math.Log and math.Exp round to opposite sides of an exact power of the
+// growth factor.
 func (h *Histogram) lowerBound(b int) int64 {
-	if b == 0 {
+	if b <= 0 {
 		return 0
 	}
-	return int64(math.Exp(float64(b-1) * h.logG))
+	x := math.Exp(float64(b-1) * h.logG)
+	if x >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	v := int64(x)
+	if v < 1 {
+		v = 1
+	}
+	// The closed form can be off by a few ulps around exact powers of the
+	// growth factor; bucket is monotone in v, so nudge v to the true
+	// boundary.
+	for v > 1 && h.bucket(v-1) >= b {
+		v--
+	}
+	for h.bucket(v) < b {
+		v++
+	}
+	return v
 }
 
 // Add records one sample. Negative samples are clamped to zero.

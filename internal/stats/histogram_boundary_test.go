@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// boundaryValues returns the integers near every exact power of growth that
+// fits in an int64: the values where math.Log (in bucket) and math.Exp (in
+// lowerBound) historically rounded to opposite sides of the boundary.
+func boundaryValues(growth float64) []int64 {
+	var vals []int64
+	for p := 1.0; p < math.MaxInt64/4; p *= growth {
+		v := int64(p)
+		for _, d := range []int64{-1, 0, 1} {
+			if v+d >= 1 {
+				vals = append(vals, v+d)
+			}
+		}
+	}
+	return vals
+}
+
+// TestHistogramBucketBoundsConsistent sweeps exact powers of several growth
+// factors and asserts the defining invariant of the bucket/lowerBound pair:
+// every sample lies inside the bounds of the bucket it was assigned to.
+// Before lowerBound was derived from bucket itself, a sample at an exact
+// power could land in a bucket whose lower bound exceeded it (e.g. growth 10,
+// v=1000 went to bucket 3 while lowerBound(4) was 999).
+func TestHistogramBucketBoundsConsistent(t *testing.T) {
+	for _, growth := range []float64{1.1, 1.25, 1.5, 2, 3, 10} {
+		h := NewHistogram(growth)
+		for _, v := range boundaryValues(growth) {
+			b := h.bucket(v)
+			lo, hi := h.lowerBound(b), h.lowerBound(b+1)
+			if v < lo || v >= hi {
+				t.Errorf("growth %v: sample %d in bucket %d but bounds are [%d, %d)",
+					growth, v, b, lo, hi)
+			}
+		}
+		// lowerBound must be monotone so Quantile's midpoints are ordered.
+		prev := int64(-1)
+		for b := 0; b < 64; b++ {
+			lb := h.lowerBound(b)
+			if lb < prev {
+				t.Fatalf("growth %v: lowerBound(%d) = %d < lowerBound(%d) = %d",
+					growth, b, lb, b-1, prev)
+			}
+			prev = lb
+		}
+	}
+}
+
+// TestHistogramQuantileAtBoundaries adds samples exactly at bucket
+// boundaries and checks quantiles stay within the observed extremes (a
+// quantile outside [min, max] is the visible symptom of inconsistent
+// bounds).
+func TestHistogramQuantileAtBoundaries(t *testing.T) {
+	for _, growth := range []float64{1.25, 2, 10} {
+		h := NewHistogram(growth)
+		for _, v := range boundaryValues(growth) {
+			h.Add(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			got := h.Quantile(q)
+			if got < h.Min() || got > h.Max() {
+				t.Errorf("growth %v: Quantile(%v) = %d outside [%d, %d]",
+					growth, q, got, h.Min(), h.Max())
+			}
+		}
+	}
+}
+
+// TestHistogramBoundaryJSONRoundTrip verifies that a histogram holding
+// boundary samples survives MarshalJSON/UnmarshalJSON with identical counts,
+// quantiles and a working Merge (the sweep journal depends on this to make
+// resumed aggregation exact).
+func TestHistogramBoundaryJSONRoundTrip(t *testing.T) {
+	for _, growth := range []float64{1.25, 2, 10} {
+		h := NewHistogram(growth)
+		for _, v := range boundaryValues(growth) {
+			h.Add(v)
+		}
+		data, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Count() != h.Count() || back.Min() != h.Min() || back.Max() != h.Max() {
+			t.Fatalf("growth %v: round-trip changed summary: %v vs %v", growth, &back, h)
+		}
+		for _, q := range []float64{0.1, 0.5, 0.99} {
+			if back.Quantile(q) != h.Quantile(q) {
+				t.Errorf("growth %v: Quantile(%v) changed across round-trip: %d vs %d",
+					growth, q, back.Quantile(q), h.Quantile(q))
+			}
+		}
+		// Merging the round-tripped copy into a fresh histogram must equal
+		// the original's distribution exactly.
+		merged := NewHistogram(growth)
+		merged.Merge(&back)
+		merged.Merge(&back)
+		if merged.Count() != 2*h.Count() {
+			t.Fatalf("growth %v: merge lost samples: %d vs %d", growth, merged.Count(), 2*h.Count())
+		}
+		if merged.Quantile(0.5) != h.Quantile(0.5) {
+			t.Errorf("growth %v: merged median %d != original %d",
+				growth, merged.Quantile(0.5), h.Quantile(0.5))
+		}
+	}
+}
