@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke bench-harness bench-kernel profile clean
+.PHONY: all build test race vet smoke trace-smoke bench-harness bench-kernel bench-trace profile clean
 
 all: vet test
 
@@ -32,6 +32,25 @@ smoke: build
 	cmp /tmp/wormnet-serial.json /tmp/wormnet-resumed.json
 	@echo "smoke: parallel and resumed sweeps byte-identical to serial"
 
+# Flight-recorder smoke: a saturated single-VC run must capture a decodable
+# event stream containing detection verdicts, and the bounded ring mode must
+# dump on detection too. Both files are checked by parsing them back through
+# traceview.
+trace-smoke: build
+	$(GO) build -o /tmp/wormnet-wormsim ./cmd/wormsim
+	$(GO) build -o /tmp/wormnet-traceview ./cmd/traceview
+	/tmp/wormnet-wormsim -k 4 -n 2 -vcs 1 -load 2.0 -inject-limit -1 -th 8 \
+		-warmup 0 -measure 3000 -oracle-every 1 \
+		-trace /tmp/wormnet-events.jsonl > /dev/null
+	/tmp/wormnet-traceview -summary /tmp/wormnet-events.jsonl \
+		| tee /tmp/wormnet-trace-summary.txt
+	grep -q 'detect' /tmp/wormnet-trace-summary.txt
+	/tmp/wormnet-wormsim -k 4 -n 2 -vcs 1 -load 2.0 -inject-limit -1 -th 8 \
+		-warmup 0 -measure 3000 -oracle-every 1 \
+		-trace /tmp/wormnet-ring.jsonl -trace-last 256 > /dev/null
+	/tmp/wormnet-traceview -summary /tmp/wormnet-ring.jsonl > /dev/null
+	@echo "trace-smoke: stream and ring captures decode, detections present"
+
 # Serial vs parallel sweep wall-clock; writes results/harness_bench.txt.
 bench-harness:
 	$(GO) test -run NONE -bench 'BenchmarkSweep' -benchtime 2x \
@@ -44,6 +63,15 @@ bench-kernel:
 	$(GO) test -run NONE -bench 'EngineStep|Oracle' -benchmem -benchtime 2s \
 		. | tee results/kernel_bench.txt
 
+# Flight-recorder overhead: the engine cycle benched with tracing off, with
+# the ring recorder, and with streaming JSONL encoding; writes
+# results/trace_overhead.txt. The TraceOff row must match the untraced
+# saturation bench (disabled tracing is one predicted branch per emit site)
+# and TraceRing must report 0 allocs/op.
+bench-trace:
+	$(GO) test -run NONE -bench 'EngineStepTrace' -benchmem -benchtime 2s \
+		. | tee results/trace_overhead.txt
+
 # CPU and heap profiles of the kernel benchmarks; writes pprof artifacts
 # under results/. Inspect with: go tool pprof results/cpu.pprof
 profile:
@@ -54,4 +82,6 @@ profile:
 
 clean:
 	rm -f /tmp/wormnet-loadsweep /tmp/wormnet-serial.json \
-		/tmp/wormnet-par.json /tmp/wormnet-resumed.json /tmp/wormnet-sweep.jsonl
+		/tmp/wormnet-par.json /tmp/wormnet-resumed.json /tmp/wormnet-sweep.jsonl \
+		/tmp/wormnet-wormsim /tmp/wormnet-traceview /tmp/wormnet-events.jsonl \
+		/tmp/wormnet-ring.jsonl /tmp/wormnet-trace-summary.txt

@@ -30,7 +30,10 @@ import (
 	"fmt"
 	"os"
 
+	"wormnet"
 	"wormnet/internal/exp"
+	"wormnet/internal/harness"
+	"wormnet/internal/stats"
 )
 
 func fail(format string, args ...any) {
@@ -63,8 +66,36 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint journal path prefix (run mode)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint journals (run mode)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output (run mode)")
+		traceDir   = flag.String("trace-dir", "", "dump per-run flight-recorder traces of failed/detecting runs into this directory (run/detlat mode)")
+		traceLast  = flag.Int("trace-last", 0, "events kept per run's trace ring, 0 = default capacity (run/detlat mode)")
+		detlat     = flag.Bool("detlat", false, "measure NDM-vs-PDM detection-latency histograms at one deadlock-prone operating point")
+		dlLoad     = flag.Float64("load", 2.0, "offered load in flits/cycle/node (detlat mode)")
+		dlVCs      = flag.Int("vcs", 1, "virtual channels per physical channel (detlat mode)")
+		dlTh       = flag.Int64("th", 16, "detection threshold in cycles (detlat mode)")
 	)
 	flag.Parse()
+
+	if *detlat {
+		switch {
+		case len(flag.Args()) > 0:
+			fail("unexpected arguments %q in -detlat mode", flag.Args())
+		case *run:
+			fail("-detlat and -run are mutually exclusive")
+		case *k < 2 || *n < 1:
+			fail("invalid topology: %d-ary %d-cube (need -k >= 2, -n >= 1)", *k, *n)
+		case *warmup < 0 || *measure <= 0:
+			fail("need -warmup >= 0 and -measure > 0, got %d and %d", *warmup, *measure)
+		case *replicates < 1:
+			fail("-replicates must be >= 1, got %d", *replicates)
+		}
+		runDetLat(detLatParams{
+			k: *k, n: *n, vcs: *dlVCs, load: *dlLoad, th: *dlTh,
+			warmup: *warmup, measure: *measure, seed: *seed,
+			workers: *workers, replicates: *replicates, quiet: *quiet,
+			traceDir: *traceDir, traceLast: *traceLast,
+		})
+		return
+	}
 
 	// Flags that only make sense in run mode must not be silently ignored.
 	if !*run {
@@ -72,7 +103,8 @@ func main() {
 			"pdm-table": true, "ndm-table": true, "k": true, "n": true,
 			"warmup": true, "measure": true, "seed": true, "relative": true,
 			"workers": true, "replicates": true, "checkpoint": true,
-			"resume": true, "quiet": true,
+			"resume": true, "quiet": true, "trace-dir": true, "trace-last": true,
+			"load": true, "vcs": true, "th": true,
 		}
 		var misused []string
 		flag.Visit(func(f *flag.Flag) {
@@ -107,9 +139,9 @@ func main() {
 			fail("-resume requires -checkpoint")
 		}
 		pdm = measureTable(*pdmTable, "pdm", *k, *n, *warmup, *measure, *seed,
-			*relative, *workers, *replicates, *checkpoint, *resume, *quiet)
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, *traceDir, *traceLast)
 		ndm = measureTable(*ndmTable, "ndm", *k, *n, *warmup, *measure, *seed,
-			*relative, *workers, *replicates, *checkpoint, *resume, *quiet)
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, *traceDir, *traceLast)
 	} else {
 		var err error
 		if pdm, err = load(flag.Arg(0)); err != nil {
@@ -148,7 +180,8 @@ func main() {
 
 // measureTable runs one paper table on the harness.
 func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed uint64,
-	relative bool, workers, replicates int, checkpoint string, resume, quiet bool) *exp.Result {
+	relative bool, workers, replicates int, checkpoint string, resume, quiet bool,
+	traceDir string, traceLast int) *exp.Result {
 	tbl, err := exp.PaperTable(id)
 	if err != nil {
 		fail("%v", err)
@@ -161,6 +194,10 @@ func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed u
 	opt.Workers = workers
 	opt.Repeats = replicates
 	opt.Resume = resume
+	if traceDir != "" {
+		opt.TraceDir = traceDir + "-" + suffix
+		opt.TraceLast = traceLast
+	}
 	if checkpoint != "" {
 		opt.Journal = checkpoint + "." + suffix
 	}
@@ -175,4 +212,90 @@ func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed u
 		os.Exit(1)
 	}
 	return res
+}
+
+type detLatParams struct {
+	k, n, vcs           int
+	load                float64
+	th                  int64
+	warmup, measure     int64
+	seed                uint64
+	workers, replicates int
+	quiet               bool
+	traceDir            string
+	traceLast           int
+}
+
+// runDetLat measures the detection-latency distribution — cycles from the
+// omniscient oracle first seeing a message deadlocked (OracleEvery=1) until
+// the mechanism marks it — for NDM and PDM at one deadlock-prone operating
+// point, and prints both histograms.
+func runDetLat(p detLatParams) {
+	mechs := []wormnet.Mechanism{wormnet.PDM, wormnet.NDM}
+	var pts []harness.Point
+	for _, mech := range mechs {
+		cfg := wormnet.DefaultConfig()
+		cfg.K, cfg.N = p.k, p.n
+		cfg.VirtualChannels = p.vcs
+		cfg.Pattern = wormnet.Uniform
+		cfg.Lengths = wormnet.Len16
+		cfg.Load = p.load
+		cfg.Mechanism = mech
+		cfg.Threshold = p.th
+		cfg.InjectionLimit = -1 // saturate freely: deadlocks must actually form
+		cfg.Warmup, cfg.Measure = p.warmup, p.measure
+		cfg.OracleEvery = 1 // exact oracle-first-deadlock stamps
+		sc, err := cfg.SimConfig()
+		if err != nil {
+			fail("%v", err)
+		}
+		pts = append(pts, harness.Point{Key: string(mech), Config: sc})
+	}
+	opt := harness.Options{
+		Workers:    p.workers,
+		Replicates: p.replicates,
+		BaseSeed:   p.seed,
+		TraceDir:   p.traceDir,
+		TraceLast:  p.traceLast,
+	}
+	if !p.quiet {
+		opt.Progress = os.Stderr
+	}
+	res, err := harness.Run(pts, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# detection latency: cycles from oracle-confirmed deadlock to the mechanism's mark\n")
+	fmt.Printf("# %d-ary %d-cube, %d VC(s), uniform 16-flit traffic, load %.3g flits/cycle/node, threshold %d, oracle every cycle\n",
+		p.k, p.n, p.vcs, p.load, p.th)
+	fmt.Printf("# %d measured cycles after %d warm-up, %d replicate(s), base seed %d\n",
+		p.measure, p.warmup, p.replicates, p.seed)
+	fmt.Println()
+	fmt.Printf("%-5s %9s %9s %7s %7s %7s %7s %9s %9s\n",
+		"mech", "samples", "mean", "p50", "p90", "p99", "max", "true", "false")
+	hists := make([]*stats.Histogram, len(pts))
+	for i, pr := range res {
+		if !pr.OK() {
+			fail("point %s failed: %s", pr.Key, pr.Err())
+		}
+		h := pr.MergedDetectLatency()
+		hists[i] = h
+		var trueMarks, falseMarks int64
+		for _, r := range pr.Completed() {
+			trueMarks += r.TrueMarked
+			falseMarks += r.FalseMarked
+		}
+		fmt.Printf("%-5s %9d %9.1f %7d %7d %7d %7d %9d %9d\n",
+			pr.Key, h.Count(), h.Mean(),
+			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max(),
+			trueMarks, falseMarks)
+	}
+	for i, pr := range res {
+		if hists[i].Count() == 0 {
+			continue
+		}
+		fmt.Printf("\n%s latency histogram:\n%s", pr.Key, hists[i].Bars(48))
+	}
 }

@@ -41,6 +41,8 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume completed cells from the -checkpoint journals")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of the text table")
+		traceDir   = flag.String("trace-dir", "", "dump per-run flight-recorder traces of failed/detecting cell runs into this directory (per-table suffix .t<N> is appended)")
+		traceLast  = flag.Int("trace-last", 0, "events kept per run's trace ring (0 = default capacity)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,9 @@ func main() {
 		os.Exit(2)
 	case *resume && *checkpoint == "":
 		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
+		os.Exit(2)
+	case *traceLast > 0 && *traceDir == "":
+		fmt.Fprintln(os.Stderr, "tables: -trace-last requires -trace-dir")
 		os.Exit(2)
 	}
 
@@ -77,6 +82,10 @@ func main() {
 		}
 		if *checkpoint != "" {
 			opt.Journal = fmt.Sprintf("%s.t%d", *checkpoint, id)
+		}
+		if *traceDir != "" {
+			opt.TraceDir = fmt.Sprintf("%s.t%d", *traceDir, id)
+			opt.TraceLast = *traceLast
 		}
 		start := time.Now()
 		if !*quiet {

@@ -1,0 +1,255 @@
+// Command traceview renders flight-recorder traces captured with
+// `wormsim -trace`, the harness's -trace-dir option, or trace.Recorder.Dump.
+//
+// Two views:
+//
+// Summary (default): per-kind event counts, cycle span, and the detection
+// verdicts present in the trace.
+//
+//	traceview events.jsonl
+//
+// Message timeline (-msg): a per-cycle timeline of one message's life — its
+// injection, routing attempts, the G/P transitions of the input channels it
+// blocked on, the I/DT flag activity of the channels it requested, and its
+// detection/recovery, exactly the sequence the paper's Section 3 rules
+// produce. With -msg -1 (the default) the first detected message is chosen;
+// if nothing was detected, the first injected one.
+//
+//	traceview -msg 17 events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wormnet/internal/router"
+	"wormnet/internal/trace"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceview: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		msg     = flag.Int("msg", -1, "render a per-cycle timeline of this message id (-1 = first detected, else first injected)")
+		summary = flag.Bool("summary", false, "print only the per-kind summary (the default when -msg is not set)")
+	)
+	flag.Parse()
+
+	var rd io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(flag.Args()) {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		rd, name = f, flag.Arg(0)
+	default:
+		fail("at most one trace file (or stdin)")
+	}
+
+	events, err := trace.Decode(rd)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(events) == 0 {
+		fail("%s: empty trace", name)
+	}
+
+	timeline := !*summary || *msg >= 0
+	printSummary(name, events)
+	if !timeline {
+		return
+	}
+
+	id := router.MsgID(*msg)
+	if *msg < 0 {
+		id = pickMessage(events)
+		if id == router.NilMsg {
+			return // trace has no message events at all
+		}
+	}
+	fmt.Println()
+	printTimeline(events, id)
+}
+
+// printSummary reports what the trace contains.
+func printSummary(name string, events []trace.Event) {
+	var counts [64]int
+	first, last := events[0].Cycle, events[0].Cycle
+	var detects, trueDetects int
+	for _, ev := range events {
+		if int(ev.Kind) < len(counts) {
+			counts[ev.Kind]++
+		}
+		if ev.Cycle < first {
+			first = ev.Cycle
+		}
+		if ev.Cycle > last {
+			last = ev.Cycle
+		}
+		if ev.Kind == trace.KindDetect {
+			detects++
+			if ev.Arg == 1 {
+				trueDetects++
+			}
+		}
+	}
+	fmt.Printf("%s: %d events over cycles %d..%d\n", name, len(events), first, last)
+	for k, c := range counts {
+		if c > 0 {
+			fmt.Printf("  %-16s %d\n", trace.Kind(k).String(), c)
+		}
+	}
+	if detects > 0 {
+		fmt.Printf("detections: %d (%d confirmed true by the oracle)\n", detects, trueDetects)
+	}
+}
+
+// pickMessage selects the message to render: the first detected one, or the
+// first injected one.
+func pickMessage(events []trace.Event) router.MsgID {
+	for _, ev := range events {
+		if ev.Kind == trace.KindDetect {
+			return ev.Msg
+		}
+	}
+	for _, ev := range events {
+		if ev.Msg != router.NilMsg {
+			return ev.Msg
+		}
+	}
+	return router.NilMsg
+}
+
+// printTimeline renders every event involving message id, plus the flag
+// activity of the channels the message touched, cycle by cycle.
+func printTimeline(events []trace.Event, id router.MsgID) {
+	// Channels the message touched (as input or requested output), so flag
+	// events on them are part of its story.
+	links := map[router.LinkID]bool{}
+	for _, ev := range events {
+		if ev.Msg != id {
+			continue
+		}
+		if ev.Link != router.NilLink {
+			links[ev.Link] = true
+		}
+		if ev.Kind == trace.KindRouteOK && ev.Arg >= 0 {
+			links[router.LinkID(ev.Arg)] = true
+		}
+		if ev.Kind == trace.KindGSet && ev.Aux >= 0 {
+			links[router.LinkID(ev.Aux)] = true
+		}
+	}
+	if len(links) == 0 {
+		fmt.Printf("message %d: no events in trace\n", id)
+		return
+	}
+	fmt.Printf("message %d timeline (own events and flag activity on its %d channel(s)):\n", id, len(links))
+	lastCycle := int64(-1)
+	n := 0
+	for _, ev := range events {
+		own := ev.Msg == id
+		onLink := ev.Link != router.NilLink && links[ev.Link]
+		// Flag events carry no message; show them when they touch one of
+		// the message's channels. Foreign messages' events on those
+		// channels are context too, but only the flag/VC ones matter.
+		if !own && !(onLink && interesting(ev.Kind)) {
+			continue
+		}
+		if ev.Cycle != lastCycle {
+			fmt.Printf("cycle %d:\n", ev.Cycle)
+			lastCycle = ev.Cycle
+		}
+		marker := " "
+		if own {
+			marker = "*"
+		}
+		fmt.Printf("  %s %s\n", marker, describe(ev))
+		n++
+	}
+	fmt.Printf("%d events\n", n)
+}
+
+// interesting reports whether a foreign event kind is context for a message
+// timeline (flag transitions and flow-control on shared channels).
+func interesting(k trace.Kind) bool {
+	switch k {
+	case trace.KindISet, trace.KindIClear, trace.KindDTSet, trace.KindDTClear,
+		trace.KindGSet, trace.KindPSet, trace.KindVCFree:
+		return true
+	}
+	return false
+}
+
+// describe renders one event as a human-readable line.
+func describe(ev trace.Event) string {
+	s := ev.Kind.String()
+	switch ev.Kind {
+	case trace.KindInject:
+		return fmt.Sprintf("%s msg=%d node=%d dst=%d len=%d (port link %d)", s, ev.Msg, ev.Node, ev.Aux, ev.Arg, ev.Link)
+	case trace.KindDeliver:
+		return fmt.Sprintf("%s msg=%d node=%d latency=%d", s, ev.Msg, ev.Node, ev.Arg)
+	case trace.KindVCAlloc:
+		return fmt.Sprintf("%s msg=%d link=%d vc=%d", s, ev.Msg, ev.Link, ev.Aux)
+	case trace.KindVCFree:
+		if ev.Msg == router.NilMsg {
+			return fmt.Sprintf("%s link=%d", s, ev.Link)
+		}
+		return fmt.Sprintf("%s msg=%d link=%d vc=%d", s, ev.Msg, ev.Link, ev.Aux)
+	case trace.KindRouteOK:
+		return fmt.Sprintf("%s msg=%d node=%d in=%d -> out link=%d vc=%d", s, ev.Msg, ev.Node, ev.Link, ev.Arg, ev.Aux)
+	case trace.KindRouteFail:
+		return fmt.Sprintf("%s msg=%d node=%d in=%d attempt=%d", s, ev.Msg, ev.Node, ev.Link, ev.Arg)
+	case trace.KindISet, trace.KindIClear, trace.KindDTSet, trace.KindDTClear:
+		return fmt.Sprintf("%s link=%d", s, ev.Link)
+	case trace.KindGSet:
+		rule := "first-attempt"
+		if ev.Arg == trace.GRulePromotion {
+			rule = "promotion"
+		}
+		return fmt.Sprintf("%s in=%d node=%d rule=%s witness-out=%d msg=%d", s, ev.Link, ev.Node, rule, ev.Aux, ev.Msg)
+	case trace.KindPSet:
+		reason := "?"
+		switch ev.Arg {
+		case trace.PReasonRouteOK:
+			reason = "route-ok"
+		case trace.PReasonVCFreed:
+			reason = "vc-freed"
+		case trace.PReasonNotLastArrival:
+			reason = "not-last-arrival"
+		case trace.PReasonAllInactive:
+			reason = "all-inactive"
+		}
+		return fmt.Sprintf("%s in=%d node=%d reason=%s", s, ev.Link, ev.Node, reason)
+	case trace.KindDetect:
+		verdict := "FALSE"
+		if ev.Arg == 1 {
+			verdict = "TRUE"
+		}
+		return fmt.Sprintf("%s msg=%d node=%d oracle=%s", s, ev.Msg, ev.Node, verdict)
+	case trace.KindRecoverStart:
+		style := "progressive"
+		if ev.Arg == 1 {
+			style = "regressive"
+		}
+		return fmt.Sprintf("%s msg=%d node=%d style=%s", s, ev.Msg, ev.Node, style)
+	case trace.KindRecoverEnd:
+		how := "requeued"
+		if ev.Arg == 1 {
+			how = "delivered"
+		}
+		return fmt.Sprintf("%s msg=%d node=%d %s", s, ev.Msg, ev.Node, how)
+	case trace.KindOracleDeadlock:
+		return fmt.Sprintf("%s msg=%d set-size=%d", s, ev.Msg, ev.Arg)
+	}
+	return fmt.Sprintf("%s msg=%d link=%d node=%d arg=%d aux=%d", s, ev.Msg, ev.Link, ev.Node, ev.Arg, ev.Aux)
+}

@@ -38,8 +38,10 @@ func main() {
 		warmup   = flag.Int64("warmup", cfg.Warmup, "warm-up cycles")
 		measure  = flag.Int64("measure", cfg.Measure, "measured cycles")
 		seed     = flag.Uint64("seed", cfg.Seed, "random seed")
-		oracle   = flag.Int64("oracle-every", 0, "run the global deadlock oracle every N cycles (0 = only at detections)")
-		observe  = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
+		oracle    = flag.Int64("oracle-every", 0, "run the global deadlock oracle every N cycles (0 = only at detections)")
+		observe   = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
+		tracePath = flag.String("trace", "", "write flight-recorder events to this JSONL file")
+		traceLast = flag.Int("trace-last", 0, "keep only the last N events in a ring, written only if a detection fires or the run fails (0 streams everything)")
 	)
 	flag.Parse()
 
@@ -63,6 +65,16 @@ func main() {
 	cfg.Warmup, cfg.Measure = *warmup, *measure
 	cfg.Seed = *seed
 	cfg.OracleEvery = *oracle
+	cfg.TracePath = *tracePath
+	cfg.TraceLast = *traceLast
+	if *traceLast > 0 && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "wormsim: -trace-last requires -trace")
+		os.Exit(2)
+	}
+	if *tracePath != "" && *observe > 0 {
+		fmt.Fprintln(os.Stderr, "wormsim: -trace cannot be combined with -observe")
+		os.Exit(2)
+	}
 
 	var res *wormnet.Result
 	var err error
@@ -98,6 +110,13 @@ func main() {
 	fmt.Printf("  false:        %d (%.3f%% of delivered)\n", res.FalseMarked, res.PctFalseMarked())
 	fmt.Printf("recovery:       %d absorbed, %d aborted, %d re-injected, %d delivered by recovery\n",
 		res.Absorbed, res.Aborted, res.Reinjected, res.RecoveredDelivered)
+	if res.DetectLatencySamples > 0 {
+		fmt.Printf("detect latency: p50 %d p99 %d cycles over %d true detections (oracle to mark)\n",
+			res.DetectLatencyP50, res.DetectLatencyP99, res.DetectLatencySamples)
+	}
+	if res.DTFlagCycleSum > 0 {
+		fmt.Printf("dt occupancy:   %.3f channels with DT set per measured cycle\n", res.AvgDTFlags())
+	}
 	if res.OracleRuns > 0 {
 		fmt.Printf("oracle:         %d runs, %d saw deadlock (max set %d)\n",
 			res.OracleRuns, res.DeadlockCycles, res.MaxDeadlockSet)

@@ -22,6 +22,7 @@ package detect
 import (
 	"wormnet/internal/router"
 	"wormnet/internal/topology"
+	"wormnet/internal/trace"
 )
 
 // Detector observes one simulated network and decides which blocked
@@ -60,6 +61,21 @@ type Detector interface {
 	// short-circuit its deadlock oracle, so EndCycle must not mutate fabric
 	// state).
 	EndCycle(now int64, txLinks []router.LinkID, transmitted []bool)
+}
+
+// Traceable is implemented by detectors that can report their internal flag
+// transitions to the flight recorder. The engine attaches its recorder (which
+// may be nil — trace.Recorder methods are nil-safe) right after construction.
+type Traceable interface {
+	SetTracer(*trace.Recorder)
+}
+
+// DTOccupier is implemented by detectors that maintain a count of output
+// channels whose detection-threshold flag is currently set (NDM's DT flag,
+// PDM's inactivity flag). The engine samples it once per measured cycle to
+// derive the per-channel DT-occupancy metric.
+type DTOccupier interface {
+	DTCount() int
 }
 
 // None is a Detector that never marks anything. It is used to measure raw

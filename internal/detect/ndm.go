@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wormnet/internal/router"
+	"wormnet/internal/trace"
 )
 
 // PromotionPolicy selects how a router re-arms detection when an I flag is
@@ -57,10 +58,13 @@ type NDM struct {
 	iFlag   []bool
 	dtFlag  []bool
 	gp      []bool // true = G, false = P; input-capable links only
+	dtBusy  int    // number of links with dtFlag set (DT occupancy)
 
 	inputs [][]router.LinkID // per node: input channels of its router
 
 	candBuf []router.LinkID // scratch for selective promotion
+
+	tr *trace.Recorder // flight recorder; nil-safe
 }
 
 // NewNDM builds the mechanism over fabric f with the paper's t1 = 1 and the
@@ -97,6 +101,13 @@ func (d *NDM) Name() string {
 	return fmt.Sprintf("ndm(t1=%d,t2=%d,promote=%s)", d.T1, d.T2, d.Promotion)
 }
 
+// SetTracer implements Traceable: flag transitions are reported to tr.
+func (d *NDM) SetTracer(tr *trace.Recorder) { d.tr = tr }
+
+// DTCount implements DTOccupier: the number of output channels whose DT flag
+// is currently set.
+func (d *NDM) DTCount() int { return d.dtBusy }
+
 // IFlagSet reports the I flag of link l (exported for tests and scenario
 // reconstruction).
 func (d *NDM) IFlagSet(l router.LinkID) bool { return d.iFlag[l] }
@@ -115,7 +126,7 @@ func (d *NDM) RouteFailed(m *router.Message, in router.LinkID, outs []router.Lin
 		if !d.f.AllVCsBusy(in) {
 			// Some VC of the input channel is still free: this message is
 			// not the latest arrival and cannot close a cycle yet.
-			d.gp[in] = false
+			d.setP(in, m.ID, trace.PReasonNotLastArrival)
 			return false
 		}
 		for _, o := range outs {
@@ -123,13 +134,13 @@ func (d *NDM) RouteFailed(m *router.Message, in router.LinkID, outs []router.Lin
 				// Some requested channel is still active: the advancing
 				// message could be the root of the tree. If it later
 				// blocks, this message must detect.
-				d.gp[in] = true
+				d.setG(in, m.ID, trace.GRuleFirstAttempt, o)
 				return false
 			}
 		}
 		// Every requested channel is already inactive: some other message
 		// blocked first and owns detection.
-		d.gp[in] = false
+		d.setP(in, m.ID, trace.PReasonAllInactive)
 		return false
 	}
 
@@ -149,15 +160,34 @@ func (d *NDM) RouteFailed(m *router.Message, in router.LinkID, outs []router.Lin
 // RouteSucceeded implements Detector. A message that was occupying the
 // input channel routes: the last arrival on that channel is no longer
 // waiting on the root, so the flag returns to P.
-func (d *NDM) RouteSucceeded(_ *router.Message, in router.LinkID) {
-	d.gp[in] = false
+func (d *NDM) RouteSucceeded(m *router.Message, in router.LinkID) {
+	d.setP(in, m.ID, trace.PReasonRouteOK)
 }
 
 // VCFreed implements Detector. Freeing a virtual channel of an input
 // physical channel resets its G/P flag to P, exactly like a successful
 // routing.
 func (d *NDM) VCFreed(l router.LinkID) {
-	d.gp[l] = false
+	d.setP(l, router.NilMsg, trace.PReasonVCFreed)
+}
+
+// setG raises input channel in to G, tracing the transition with the rule
+// that fired and the witness output channel.
+func (d *NDM) setG(in router.LinkID, msg router.MsgID, rule int64, out router.LinkID) {
+	if d.gp[in] {
+		return
+	}
+	d.gp[in] = true
+	d.tr.Emit(trace.KindGSet, msg, in, int32(d.f.RouterOf(in)), rule, int32(out))
+}
+
+// setP lowers input channel in to P, tracing the transition with its reason.
+func (d *NDM) setP(in router.LinkID, msg router.MsgID, reason int64) {
+	if !d.gp[in] {
+		return
+	}
+	d.gp[in] = false
+	d.tr.Emit(trace.KindPSet, msg, in, int32(d.f.RouterOf(in)), reason, -1)
 }
 
 // EndCycle implements Detector: the counter/flag hardware of Figure 6.
@@ -175,10 +205,15 @@ func (d *NDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 			// An I flag is being reset because a message advanced: re-arm
 			// waiting messages in this router (Figure 5).
 			d.promote(id)
+			d.iFlag[l] = false
+			d.tr.Emit(trace.KindIClear, router.NilMsg, id, -1, 0, -1)
+		}
+		if d.dtFlag[l] {
+			d.dtFlag[l] = false
+			d.dtBusy--
+			d.tr.Emit(trace.KindDTClear, router.NilMsg, id, -1, 0, -1)
 		}
 		d.counter[l] = 0
-		d.iFlag[l] = false
-		d.dtFlag[l] = false
 	}
 	// The counter is "only incremented if at least one virtual channel is
 	// occupied": visiting the busy links covers every counting channel.
@@ -188,11 +223,14 @@ func (d *NDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 			continue // just reset, or an injection link with no counter
 		}
 		d.counter[l]++
-		if d.counter[l] > d.T1 {
+		if d.counter[l] > d.T1 && !d.iFlag[l] {
 			d.iFlag[l] = true
+			d.tr.Emit(trace.KindISet, router.NilMsg, id, -1, 0, -1)
 		}
-		if d.counter[l] > d.T2 {
+		if d.counter[l] > d.T2 && !d.dtFlag[l] {
 			d.dtFlag[l] = true
+			d.dtBusy++
+			d.tr.Emit(trace.KindDTSet, router.NilMsg, id, -1, 0, -1)
 		}
 	}
 }
@@ -211,7 +249,7 @@ func (d *NDM) promote(out router.LinkID) {
 		if d.Promotion == PromoteWaiting && !d.waitingOn(in, out, node) {
 			continue
 		}
-		d.gp[in] = true
+		d.setG(in, router.NilMsg, trace.GRulePromotion, out)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wormnet/internal/router"
+	"wormnet/internal/trace"
 )
 
 // PDM is the previously proposed detection mechanism summarized in Section
@@ -28,6 +29,9 @@ type PDM struct {
 
 	counter []int64
 	ifFlag  []bool
+	ifBusy  int // number of links with the inactivity flag set
+
+	tr *trace.Recorder // flight recorder; nil-safe
 }
 
 // NewPDM builds the mechanism over fabric f with the given threshold.
@@ -45,6 +49,14 @@ func NewPDM(f *router.Fabric, threshold int64) *PDM {
 
 // Name implements Detector.
 func (d *PDM) Name() string { return fmt.Sprintf("pdm(th=%d)", d.Threshold) }
+
+// SetTracer implements Traceable. PDM's single inactivity flag is its
+// detection threshold, so transitions are reported as DT set/clear events.
+func (d *PDM) SetTracer(tr *trace.Recorder) { d.tr = tr }
+
+// DTCount implements DTOccupier: the number of output channels whose
+// inactivity flag is currently set.
+func (d *PDM) DTCount() int { return d.ifBusy }
 
 // InactivitySet reports the IF flag of link l (exported for tests).
 func (d *PDM) InactivitySet(l router.LinkID) bool { return d.ifFlag[l] }
@@ -75,7 +87,11 @@ func (d *PDM) VCFreed(router.LinkID) {}
 func (d *PDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 	for _, id := range txLinks {
 		d.counter[id] = 0
-		d.ifFlag[id] = false
+		if d.ifFlag[id] {
+			d.ifFlag[id] = false
+			d.ifBusy--
+			d.tr.Emit(trace.KindDTClear, router.NilMsg, id, -1, 0, -1)
+		}
 	}
 	for _, id := range d.f.BusyLinks() {
 		l := int(id)
@@ -83,8 +99,10 @@ func (d *PDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 			continue
 		}
 		d.counter[l]++
-		if d.counter[l] > d.Threshold {
+		if d.counter[l] > d.Threshold && !d.ifFlag[l] {
 			d.ifFlag[l] = true
+			d.ifBusy++
+			d.tr.Emit(trace.KindDTSet, router.NilMsg, id, -1, 0, -1)
 		}
 	}
 }

@@ -164,6 +164,11 @@ type Options struct {
 	// ProgressWriter, when non-nil, receives the harness's live progress
 	// line (runs done, ETA, worker utilization).
 	ProgressWriter io.Writer
+	// TraceDir, when non-empty, attaches a flight recorder to every cell
+	// run and dumps the last TraceLast events of runs that failed or
+	// detected a deadlock (see harness.Options.TraceDir).
+	TraceDir  string
+	TraceLast int
 }
 
 // DefaultOptions returns full-scale reproduction settings (the paper's
@@ -276,6 +281,8 @@ func Run(tbl Table, opt Options) (*Result, error) {
 		Resume:      opt.Resume,
 		Progress:    opt.ProgressWriter,
 		OnPointDone: opt.Progress,
+		TraceDir:    opt.TraceDir,
+		TraceLast:   opt.TraceLast,
 	})
 	if err != nil {
 		return nil, err

@@ -26,12 +26,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"wormnet/internal/rng"
 	"wormnet/internal/sim"
 	"wormnet/internal/stats"
+	"wormnet/internal/trace"
 )
 
 // Point is one coordinate of a sweep: a stable identifying key plus a fully
@@ -73,6 +78,16 @@ type Options struct {
 	// collector — each time all replicates of a point have finished, with
 	// the number of finished points and the total.
 	OnPointDone func(done, total int)
+	// TraceDir, when non-empty, attaches a distinct flight recorder to
+	// every run (recorders are single-owner, so sharing one across the
+	// worker pool would race) and dumps its ring to
+	// TraceDir/p<point>-r<rep>-<key>.jsonl for each run that failed or
+	// recorded a detection verdict. Healthy, detection-free runs leave no
+	// file. The directory is created if missing.
+	TraceDir string
+	// TraceLast bounds each run's ring to the most recent TraceLast events
+	// (trace.DefaultCapacity when <= 0).
+	TraceLast int
 	// Run overrides the run function (default sim.Run), mainly for tests.
 	Run func(key string, cfg sim.Config) (*sim.Result, error)
 }
@@ -141,6 +156,12 @@ func (p *PointResult) MergedDetectDelay() *stats.Histogram {
 	return p.merged(func(r *sim.Result) *stats.Histogram { return r.DetectDelayHist })
 }
 
+// MergedDetectLatency merges the oracle-to-detection latency histograms of
+// all successful replicates (empty unless the runs set OracleEvery > 0).
+func (p *PointResult) MergedDetectLatency() *stats.Histogram {
+	return p.merged(func(r *sim.Result) *stats.Histogram { return r.DetectLatencyHist })
+}
+
 func (p *PointResult) merged(pick func(*sim.Result) *stats.Histogram) *stats.Histogram {
 	out := stats.NewHistogram(1.25)
 	for _, r := range p.Runs {
@@ -192,6 +213,11 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 	run := opt.Run
 	if run == nil {
 		run = func(_ string, cfg sim.Config) (*sim.Result, error) { return sim.Run(cfg) }
+	}
+	if opt.TraceDir != "" {
+		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("harness: trace dir: %w", err)
+		}
 	}
 
 	results := make([]PointResult, len(points))
@@ -271,13 +297,27 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 		jobCh := make(chan job)
 		outCh := make(chan outcome)
 		var busy atomic.Int32
+		var traceErrOnce sync.Once
+		var traceErr error
 		for w := 0; w < workers; w++ {
 			go func() {
 				for j := range jobCh {
 					busy.Add(1)
 					cfg := points[j.point].Config
 					cfg.Seed = j.seed
+					// Each run gets its own recorder: Point.Config is shared
+					// across replicates and recorders are single-owner.
+					var rec *trace.Recorder
+					if opt.TraceDir != "" {
+						rec = trace.NewRecorder(opt.TraceLast)
+						cfg.Trace = rec
+					}
 					res, err := safeRun(run, points[j.point].Key, cfg)
+					if rec != nil && (err != nil || rec.Contains(trace.KindDetect)) {
+						if terr := dumpTrace(opt.TraceDir, j.point, j.rep, points[j.point].Key, rec); terr != nil {
+							traceErrOnce.Do(func() { traceErr = terr })
+						}
+					}
 					busy.Add(-1)
 					outCh <- outcome{job: j, res: res, err: err}
 				}
@@ -317,9 +357,39 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 			runsDone++
 			prog.report(pointsDone, runsDone, runsDone-len(loaded), int(busy.Load()), runsDone == len(points)*replicates)
 		}
+		if traceErr != nil {
+			return nil, fmt.Errorf("harness: writing trace files: %w", traceErr)
+		}
 	}
 	prog.finish()
 	return results, nil
+}
+
+// dumpTrace writes one run's flight-recorder ring to its per-run file.
+func dumpTrace(dir string, point, rep int, key string, rec *trace.Recorder) error {
+	name := fmt.Sprintf("p%03d-r%d-%s.jsonl", point, rep, sanitizeKey(key))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	err = rec.Dump(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sanitizeKey maps a point key to a safe file-name fragment.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
 }
 
 // safeRun isolates one simulation: a panic in the engine (a diverging

@@ -5,21 +5,22 @@ import (
 
 	"wormnet/internal/detect"
 	"wormnet/internal/router"
+	"wormnet/internal/trace"
 )
 
-// TestStepSteadyStateAllocationFree: once the network has warmed up, a
-// simulation cycle must not allocate — the source queues are ring buffers,
-// the engine's scratch buffers are pre-sized from the fabric geometry, and
-// the deadlock oracle runs on epoch-stamped flat arrays. The run is held in
-// the warm-up phase so histogram growth (a legitimate, amortized cost of
-// the measurement window) does not mask a hot-path regression.
-func TestStepSteadyStateAllocationFree(t *testing.T) {
+// measureStepAllocs warms an engine into steady state and measures the
+// allocations of one simulation cycle. The run is held in the warm-up phase
+// so histogram growth (a legitimate, amortized cost of the measurement
+// window) does not mask a hot-path regression.
+func measureStepAllocs(t *testing.T, tr *trace.Recorder) float64 {
+	t.Helper()
 	cfg := smallConfig()
 	cfg.Debug = false
 	cfg.Load = 1.5
 	cfg.InjectionLimit = -1
 	cfg.Warmup = 1 << 40
 	cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewNDM(f, 16) }
+	cfg.Trace = tr
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -29,12 +30,34 @@ func TestStepSteadyStateAllocationFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	avg := testing.AllocsPerRun(500, func() {
+	return testing.AllocsPerRun(500, func() {
 		if err := e.Step(); err != nil {
 			t.Fatal(err)
 		}
 	})
-	if avg != 0 {
+}
+
+// TestStepSteadyStateAllocationFree: once the network has warmed up, a
+// simulation cycle must not allocate — the source queues are ring buffers,
+// the engine's scratch buffers are pre-sized from the fabric geometry, and
+// the deadlock oracle runs on epoch-stamped flat arrays. With tracing
+// disabled (the default), every emit site must cost exactly the nil-check
+// branch: zero allocations.
+func TestStepSteadyStateAllocationFree(t *testing.T) {
+	if avg := measureStepAllocs(t, nil); avg != 0 {
 		t.Fatalf("steady-state Step allocates %.3f times per cycle, want 0", avg)
+	}
+}
+
+// TestStepTracedRingAllocationFree: the flight recorder's ring path must
+// also be allocation-free — events land in the pre-allocated ring,
+// overwriting the oldest.
+func TestStepTracedRingAllocationFree(t *testing.T) {
+	rec := trace.NewRecorder(1024)
+	if avg := measureStepAllocs(t, rec); avg != 0 {
+		t.Fatalf("ring-traced steady-state Step allocates %.3f times per cycle, want 0", avg)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no events; the zero-allocation result proves nothing")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
 	"wormnet/internal/topology"
+	"wormnet/internal/trace"
 	"wormnet/internal/traffic"
 )
 
@@ -90,6 +91,15 @@ type Config struct {
 
 	// Seed makes the run reproducible.
 	Seed uint64
+
+	// Trace, when non-nil, attaches the flight recorder: the engine (and
+	// the detector, if it implements detect.Traceable) emit event records
+	// into it. Tracing is pure observation — it never changes simulation
+	// behavior — and the nil default costs one branch per emit site and
+	// zero allocations. Recorders are not safe for concurrent use, so
+	// concurrent sweeps must attach a distinct Recorder per run (the
+	// harness's TraceDir option does exactly that).
+	Trace *trace.Recorder
 
 	// Debug enables per-cycle fabric invariant checking (slow).
 	Debug bool

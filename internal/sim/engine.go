@@ -11,6 +11,7 @@ import (
 	"wormnet/internal/routing"
 	"wormnet/internal/stats"
 	"wormnet/internal/topology"
+	"wormnet/internal/trace"
 	"wormnet/internal/traffic"
 )
 
@@ -28,6 +29,12 @@ type Result struct {
 	// a message's first failed routing attempt at its final node to the
 	// moment it was marked as deadlocked.
 	DetectDelayHist *stats.Histogram
+	// DetectLatencyHist is the distribution of detection latency — cycles
+	// from the oracle first observing a message in the deadlocked set to the
+	// detector marking it. It only accumulates samples when OracleEvery > 0
+	// (the oracle must run independently of marks to provide the reference
+	// time) and is empty otherwise.
+	DetectLatencyHist *stats.Histogram
 }
 
 // Engine simulates one network, cycle by cycle. Build one with New, then
@@ -43,11 +50,24 @@ type Engine struct {
 	gen    traffic.Process
 	alg    routing.Algorithm
 
-	now       int64
-	measuring bool
-	st        stats.Counters
-	latHist   *stats.Histogram
-	delayHist *stats.Histogram
+	now        int64
+	measuring  bool
+	st         stats.Counters
+	latHist    *stats.Histogram
+	delayHist  *stats.Histogram
+	detLatHist *stats.Histogram
+
+	// tr is the flight recorder; nil when tracing is off. All Recorder
+	// methods are nil-safe, so emit sites do not guard the pointer.
+	tr *trace.Recorder
+	// dtCount samples the detector's DT-flag occupancy; nil when the
+	// detector does not implement detect.DTOccupier.
+	dtCount func() int
+	// oracleSeen[id] is the cycle the oracle first observed message id in
+	// the deadlocked set (-1 = not currently deadlocked). Cleared when the
+	// message routes, delivers, or is re-queued. Grown on demand; in steady
+	// state the message pool is fixed, so no allocation per cycle.
+	oracleSeen []int64
 
 	// Per-node FIFO source queues of messages waiting for an injection
 	// port (both freshly generated and recovered messages).
@@ -95,7 +115,9 @@ func New(cfg Config) (*Engine, error) {
 		oracleCycle: -1,
 		latHist:     stats.NewHistogram(1.25),
 		delayHist:   stats.NewHistogram(1.25),
+		detLatHist:  stats.NewHistogram(1.25),
 		alg:         cfg.Routing,
+		tr:          cfg.Trace,
 	}
 	e.oracle.SetCandidates(func(m *router.Message, node int, buf []router.VCID) []router.VCID {
 		return e.alg.Candidates(fab, m, node, buf)
@@ -105,8 +127,17 @@ func New(cfg Config) (*Engine, error) {
 	} else {
 		e.det = detect.None{}
 	}
+	if t, ok := e.det.(detect.Traceable); ok {
+		t.SetTracer(e.tr)
+	}
+	if o, ok := e.det.(detect.DTOccupier); ok {
+		e.dtCount = o.DTCount
+	}
 	e.rec = recovery.New(fab, cfg.Recovery, recovery.Hooks{
-		VCFreed:   func(l router.LinkID) { e.det.VCFreed(l) },
+		VCFreed: func(l router.LinkID) {
+			e.tr.Emit(trace.KindVCFree, router.NilMsg, l, -1, 0, -1)
+			e.det.VCFreed(l)
+		},
 		Recovered: e.onRecovered,
 	})
 	if cfg.Process != nil {
@@ -173,6 +204,13 @@ func (e *Engine) Stats() *stats.Counters { return &e.st }
 // accumulated so far in the measurement window.
 func (e *Engine) LatencyHistogram() *stats.Histogram { return e.latHist }
 
+// DetectLatencyHistogram returns the oracle-to-detection latency
+// distribution accumulated so far (see Result.DetectLatencyHist).
+func (e *Engine) DetectLatencyHistogram() *stats.Histogram { return e.detLatHist }
+
+// Tracer returns the attached flight recorder, or nil when tracing is off.
+func (e *Engine) Tracer() *trace.Recorder { return e.tr }
+
 // FailLink injects a fault: physical channel l is taken out of service and
 // every worm currently holding one of its virtual channels is killed and
 // re-queued at its source (the standard abort-and-retry response to a
@@ -187,7 +225,9 @@ func (e *Engine) FailLink(l router.LinkID) {
 			continue
 		}
 		for _, vc := range e.fab.ReleaseWorm(m) {
-			e.det.VCFreed(e.fab.LinkOfVC(vc))
+			fl := e.fab.LinkOfVC(vc)
+			e.tr.Emit(trace.KindVCFree, m.ID, fl, -1, 0, int32(vc))
+			e.det.VCFreed(fl)
 		}
 		m.Phase = router.PhaseAborted
 		if e.measuring {
@@ -227,11 +267,12 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.st.Cycles = e.cfg.Measure
 	return &Result{
-		Counters:        e.st,
-		Detector:        e.det.Name(),
-		TotalCycles:     total,
-		LatencyHist:     e.latHist,
-		DetectDelayHist: e.delayHist,
+		Counters:          e.st,
+		Detector:          e.det.Name(),
+		TotalCycles:       total,
+		LatencyHist:       e.latHist,
+		DetectDelayHist:   e.delayHist,
+		DetectLatencyHist: e.detLatHist,
 	}, nil
 }
 
@@ -239,6 +280,7 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) Step() error {
 	e.measuring = e.now >= e.cfg.Warmup && e.now < e.cfg.Warmup+e.cfg.Measure
 	e.marksThisCycle = 0
+	e.tr.BeginCycle(e.now)
 
 	// Headers that arrived last cycle become routable now (routing takes
 	// one cycle).
@@ -250,6 +292,9 @@ func (e *Engine) Step() error {
 	e.transfer()
 	e.drainDelivery()
 	e.det.EndCycle(e.now, e.txLinks, e.transmitted)
+	if e.measuring && e.dtCount != nil {
+		e.st.DTFlagCycleSum += int64(e.dtCount())
+	}
 	e.route()
 	e.feedSources()
 	e.rec.Step()
@@ -344,6 +389,8 @@ func (e *Engine) admit() {
 			e.fab.Allocate(m, router.NilVC, vc)
 			m.HeadVC = vc
 			e.injecting = append(e.injecting, m.ID)
+			e.tr.Emit(trace.KindInject, m.ID, l, int32(node), int64(m.Length), int32(m.Dst))
+			e.tr.Emit(trace.KindVCAlloc, m.ID, l, int32(node), 0, int32(vc))
 			if e.measuring {
 				e.st.Injected++
 			}
@@ -433,7 +480,9 @@ func (e *Engine) moveFlit(u router.VCID) {
 	}
 	if tail {
 		m.TailVC = next
-		e.det.VCFreed(fab.LinkOfVC(u))
+		l := fab.LinkOfVC(u)
+		e.tr.Emit(trace.KindVCFree, occ, l, -1, 0, int32(u))
+		e.det.VCFreed(l)
 	}
 }
 
@@ -469,6 +518,8 @@ func (e *Engine) drainDelivery() {
 func (e *Engine) deliver(m *router.Message) {
 	m.Phase = router.PhaseDelivered
 	m.DeliverTime = e.now
+	e.tr.Emit(trace.KindDeliver, m.ID, router.NilLink, int32(m.Dst), e.now-m.GenTime, -1)
+	e.clearOracleSeen(m.ID)
 	if e.measuring {
 		e.st.Delivered++
 		e.st.DeliveredFlits += int64(m.Length)
@@ -513,7 +564,13 @@ func (e *Engine) route() {
 		if out != router.NilVC {
 			fab.Allocate(m, m.HeadVC, out)
 			m.Attempts = 0
+			// RouteOK precedes the detector call so the conformance replay
+			// sees a same-cycle route success before the P transition it
+			// causes. A message that routes is no longer deadlocked, so its
+			// oracle stamp (if any) is stale.
+			e.tr.Emit(trace.KindRouteOK, m.ID, in, int32(node), int64(fab.LinkOfVC(out)), int32(out))
 			e.det.RouteSucceeded(m, in)
+			e.clearOracleSeen(m.ID)
 			continue
 		}
 		m.Attempts++
@@ -535,6 +592,9 @@ func (e *Engine) route() {
 				e.candBuf = append(e.candBuf, l)
 			}
 		}
+		// RouteFail precedes the detector call so G/P transition events
+		// caused by this failure follow it in the trace.
+		e.tr.Emit(trace.KindRouteFail, m.ID, in, int32(node), int64(m.Attempts), -1)
 		if e.det.RouteFailed(m, in, e.candBuf, first, e.now) {
 			e.mark(m)
 			continue
@@ -549,6 +609,15 @@ func (e *Engine) route() {
 func (e *Engine) mark(m *router.Message) {
 	e.runOracle()
 	m.TrueDeadlock = e.oracle.Contains(m.ID)
+	var verdict int64
+	if m.TrueDeadlock {
+		verdict = 1
+	}
+	var node int32 = -1
+	if m.HeadVC != router.NilVC {
+		node = int32(e.fab.RouterOf(e.fab.LinkOfVC(m.HeadVC)))
+	}
+	e.tr.Emit(trace.KindDetect, m.ID, router.NilLink, node, verdict, -1)
 	if e.measuring {
 		e.st.Marked++
 		if m.TrueDeadlock {
@@ -560,7 +629,14 @@ func (e *Engine) mark(m *router.Message) {
 	e.marksThisCycle++
 	if e.measuring {
 		e.delayHist.Add(e.now - m.BlockedSince)
+		if m.TrueDeadlock && int(m.ID) < len(e.oracleSeen) {
+			if seen := e.oracleSeen[m.ID]; seen >= 0 {
+				e.detLatHist.Add(e.now - seen)
+			}
+		}
 	}
+	e.clearOracleSeen(m.ID)
+	e.tr.Emit(trace.KindRecoverStart, m.ID, router.NilLink, node, int64(e.cfg.Recovery), -1)
 	e.rec.Mark(m, e.now)
 	// Progressive recovery flips the message to PhaseRecovering without
 	// releasing a VC, which silently removes it from the oracle's seed;
@@ -569,13 +645,32 @@ func (e *Engine) mark(m *router.Message) {
 	e.oracle.Invalidate()
 }
 
-// runOracle evaluates the global deadlock oracle at most once per cycle.
+// runOracle evaluates the global deadlock oracle at most once per cycle and
+// stamps newly deadlocked messages for detection-latency measurement.
 func (e *Engine) runOracle() {
 	if e.oracleCycle == e.now {
 		return
 	}
-	e.oracleSize = len(e.oracle.Deadlocked())
+	set := e.oracle.Deadlocked()
+	e.oracleSize = len(set)
 	e.oracleCycle = e.now
+	for _, id := range set {
+		for int(id) >= len(e.oracleSeen) {
+			e.oracleSeen = append(e.oracleSeen, -1)
+		}
+		if e.oracleSeen[id] < 0 {
+			e.oracleSeen[id] = e.now
+			e.tr.Emit(trace.KindOracleDeadlock, id, router.NilLink, -1, int64(len(set)), -1)
+		}
+	}
+}
+
+// clearOracleSeen forgets a message's oracle-deadlock stamp (it routed,
+// delivered, or was re-queued — any future deadlock is a new one).
+func (e *Engine) clearOracleSeen(id router.MsgID) {
+	if int(id) < len(e.oracleSeen) {
+		e.oracleSeen[id] = -1
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -625,6 +720,11 @@ func (e *Engine) feedSources() {
 // onRecovered re-queues (or delivers) a message the recovery engine has
 // fully removed from the fabric.
 func (e *Engine) onRecovered(m *router.Message, node int) {
+	var delivered int64
+	if node == int(m.Dst) {
+		delivered = 1
+	}
+	e.tr.Emit(trace.KindRecoverEnd, m.ID, router.NilLink, int32(node), delivered, -1)
 	if e.measuring {
 		if e.cfg.Recovery == recovery.Progressive {
 			e.st.Absorbed++
@@ -647,6 +747,7 @@ func (e *Engine) onRecovered(m *router.Message, node int) {
 // requeue resets a message's transport state and re-enters it into node's
 // source queue.
 func (e *Engine) requeue(m *router.Message, node int) {
+	e.clearOracleSeen(m.ID)
 	m.Phase = router.PhaseQueued
 	m.Src = int32(node)
 	m.Injected = 0

@@ -49,6 +49,13 @@ type Counters struct {
 	MaxDeadlockSet   int
 	DeadlockedMsgSum int64 // sum of deadlock set sizes over runs that found one
 
+	// DTFlagCycleSum sums, over measured cycles, the number of output
+	// channels whose detection-threshold flag (NDM's DT, PDM's IF) was set
+	// at the end of the cycle. Divided by Cycles it gives the mean DT-flag
+	// occupancy of the network; only populated when the detector implements
+	// detect.DTOccupier.
+	DTFlagCycleSum int64
+
 	// MarksPerCycleHist[k] counts cycles in which exactly k messages were
 	// marked, for k in [1, len); index 0 aggregates overflow. It quantifies
 	// the paper's claim that in most cases a single message is detected per
@@ -109,6 +116,24 @@ func (c *Counters) Throughput() float64 {
 		return 0
 	}
 	return float64(c.DeliveredFlits) / float64(c.Cycles) / float64(c.Nodes)
+}
+
+// AvgDTFlags returns the mean number of output channels holding a set
+// detection-threshold flag per measured cycle.
+func (c *Counters) AvgDTFlags() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.DTFlagCycleSum) / float64(c.Cycles)
+}
+
+// MarksPerCycle returns Marked / Cycles, the mean number of messages marked
+// per measured cycle.
+func (c *Counters) MarksPerCycle() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Marked) / float64(c.Cycles)
 }
 
 // SawTrueDeadlock reports whether any true deadlock was confirmed during

@@ -19,6 +19,7 @@ package wormnet
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"wormnet/internal/detect"
 	"wormnet/internal/exp"
@@ -28,6 +29,7 @@ import (
 	"wormnet/internal/sim"
 	"wormnet/internal/stats"
 	"wormnet/internal/topology"
+	"wormnet/internal/trace"
 	"wormnet/internal/traffic"
 	"wormnet/internal/viz"
 )
@@ -183,6 +185,15 @@ type Config struct {
 	// OracleEvery > 0 additionally runs the global deadlock oracle every
 	// so many cycles to measure actual deadlock frequency.
 	OracleEvery int64
+
+	// TracePath, when non-empty, enables the flight recorder (see
+	// internal/trace) and names the JSONL file receiving events. With
+	// TraceLast == 0 every event is streamed to the file as it happens;
+	// with TraceLast > 0 only the most recent TraceLast events are kept in
+	// a ring, written out only when the run marked at least one message
+	// (or failed), so long healthy runs leave no file behind.
+	TracePath string
+	TraceLast int
 }
 
 // DefaultConfig returns the paper's baseline: 8-ary 3-cube, 3 VCs with
@@ -233,6 +244,16 @@ type Result struct {
 	// marked). For NDM this hugs the configured threshold, the paper's
 	// "deadlock is detected at once" once t2 expires.
 	DetectDelayP50, DetectDelayP99 int64
+	// DetectLatencyP50 and DetectLatencyP99 are percentiles of the
+	// detection latency: cycles from the oracle first observing a message
+	// in the deadlocked set until the mechanism marked it. Only populated
+	// when OracleEvery > 0; it is the end-to-end "how long did the
+	// hardware take to notice" metric the detection-delay histogram (which
+	// starts at the message's own first failed attempt) cannot provide.
+	DetectLatencyP50, DetectLatencyP99 int64
+	// DetectLatencySamples counts the marks that contributed to the
+	// detection-latency percentiles.
+	DetectLatencySamples int64
 }
 
 func (c Config) patternFactory() (sim.PatternFactory, error) {
@@ -366,7 +387,7 @@ func (c Config) SimConfig() (sim.Config, error) {
 // ResultFromSim converts a raw engine result into the public Result,
 // deriving the reported latency and detection-delay percentiles.
 func ResultFromSim(r *sim.Result) *Result {
-	return &Result{
+	res := &Result{
 		Metrics:        r.Counters,
 		DetectorName:   r.Detector,
 		TotalCycles:    r.TotalCycles,
@@ -376,6 +397,12 @@ func ResultFromSim(r *sim.Result) *Result {
 		DetectDelayP50: r.DetectDelayHist.Quantile(0.50),
 		DetectDelayP99: r.DetectDelayHist.Quantile(0.99),
 	}
+	if h := r.DetectLatencyHist; h != nil && h.Count() > 0 {
+		res.DetectLatencyP50 = h.Quantile(0.50)
+		res.DetectLatencyP99 = h.Quantile(0.99)
+		res.DetectLatencySamples = h.Count()
+	}
+	return res
 }
 
 // Run executes the simulation described by cfg and returns its metrics.
@@ -384,13 +411,54 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *trace.Recorder
+	var sink *os.File
+	if cfg.TracePath != "" {
+		rec = trace.NewRecorder(cfg.TraceLast)
+		if cfg.TraceLast <= 0 {
+			// Streaming mode: every event goes to the file as it happens.
+			sink, err = os.Create(cfg.TracePath)
+			if err != nil {
+				return nil, err
+			}
+			rec.SetSink(sink)
+		}
+		sc.Trace = rec
+	}
 	eng, err := sim.New(sc)
 	if err != nil {
+		if sink != nil {
+			sink.Close()
+		}
 		return nil, err
 	}
-	r, err := eng.Run()
-	if err != nil {
-		return nil, err
+	r, runErr := eng.Run()
+	if sink != nil {
+		ferr := rec.Flush()
+		if cerr := sink.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if runErr == nil && ferr != nil {
+			return nil, fmt.Errorf("wormnet: writing trace %s: %w", cfg.TracePath, ferr)
+		}
+	} else if rec != nil && (runErr != nil || rec.Contains(trace.KindDetect)) {
+		// Ring mode: dump the flight recorder only when something went
+		// wrong or a detection fired, so healthy runs stay file-free.
+		f, cerr := os.Create(cfg.TracePath)
+		if cerr == nil {
+			if derr := rec.Dump(f); cerr == nil {
+				cerr = derr
+			}
+			if clerr := f.Close(); cerr == nil {
+				cerr = clerr
+			}
+		}
+		if runErr == nil && cerr != nil {
+			return nil, fmt.Errorf("wormnet: writing trace %s: %w", cfg.TracePath, cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return ResultFromSim(r), nil
 }
@@ -458,6 +526,11 @@ type TableOptions struct {
 	Resume  bool
 	// Progress, if non-nil, receives (done, total) after each cell.
 	Progress func(done, total int)
+	// TraceDir, if non-empty, attaches a flight recorder to every cell run
+	// and dumps the last TraceLast events of runs that failed or detected
+	// a deadlock to per-run JSONL files in that directory.
+	TraceDir  string
+	TraceLast int
 }
 
 // TableResult is a measured paper table; render it with Render.
@@ -519,6 +592,8 @@ func RunPaperTable(id int, opt TableOptions) (*TableResult, error) {
 	eo.Journal = opt.Journal
 	eo.Resume = opt.Resume
 	eo.Progress = opt.Progress
+	eo.TraceDir = opt.TraceDir
+	eo.TraceLast = opt.TraceLast
 	res, err := exp.Run(tbl, eo)
 	if err != nil {
 		return nil, err
