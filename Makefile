@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke trace-smoke bench-harness bench-kernel bench-trace profile clean
+.PHONY: all build test race vet smoke trace-smoke metrics-smoke bench-harness bench-kernel bench-trace bench-metrics profile clean
 
 all: vet test
 
@@ -51,6 +51,36 @@ trace-smoke: build
 	/tmp/wormnet-traceview -summary /tmp/wormnet-ring.jsonl > /dev/null
 	@echo "trace-smoke: stream and ring captures decode, detections present"
 
+# Metrics smoke: scrape a live run's /metrics, /status and /debug/pprof,
+# check that an emitted time series parses back through metricsview, and
+# hold a fixed-seed sweep to byte-identical output with metrics on and off
+# (metrics are pure observation).
+metrics-smoke: build
+	$(GO) build -o /tmp/wormnet-wormsim ./cmd/wormsim
+	$(GO) build -o /tmp/wormnet-metricsview ./cmd/metricsview
+	$(GO) build -o /tmp/wormnet-loadsweep ./cmd/loadsweep
+	/tmp/wormnet-wormsim -k 4 -n 2 -vcs 1 -load 2.0 -inject-limit -1 -th 16 \
+		-warmup 0 -measure 100000000 -metrics-addr 127.0.0.1:19815 \
+		>/dev/null 2>&1 & echo $$! > /tmp/wormnet-metrics.pid
+	sleep 1; ok=0; \
+	{ curl -sf http://127.0.0.1:19815/metrics | grep -q '^wormnet_cycles_total' \
+		&& curl -sf http://127.0.0.1:19815/status | grep -q '"detector"' \
+		&& curl -sf http://127.0.0.1:19815/debug/pprof/cmdline >/dev/null; } || ok=1; \
+	kill `cat /tmp/wormnet-metrics.pid`; exit $$ok
+	/tmp/wormnet-wormsim -k 4 -n 2 -vcs 1 -load 2.0 -inject-limit -1 -th 16 \
+		-warmup 0 -measure 4000 -metrics-window 200 \
+		-series /tmp/wormnet-run.series.jsonl > /dev/null
+	/tmp/wormnet-metricsview -summary /tmp/wormnet-run.series.jsonl
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 2 -warmup 300 -measure 1500 \
+		-workers 4 -quiet -json > /tmp/wormnet-plain.json
+	rm -rf /tmp/wormnet-series
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 2 -warmup 300 -measure 1500 \
+		-workers 4 -series-dir /tmp/wormnet-series -quiet -json > /tmp/wormnet-metered.json
+	cmp /tmp/wormnet-plain.json /tmp/wormnet-metered.json
+	/tmp/wormnet-metricsview -summary /tmp/wormnet-series/p000-r0-*.series.jsonl
+	grep -q '^wormnet_cycles_total' /tmp/wormnet-series/aggregate.prom
+	@echo "metrics-smoke: live scrape OK, series parse OK, metered sweep byte-identical"
+
 # Serial vs parallel sweep wall-clock; writes results/harness_bench.txt.
 bench-harness:
 	$(GO) test -run NONE -bench 'BenchmarkSweep' -benchtime 2x \
@@ -72,6 +102,15 @@ bench-trace:
 	$(GO) test -run NONE -bench 'EngineStepTrace' -benchmem -benchtime 2s \
 		. | tee results/trace_overhead.txt
 
+# Metrics overhead: the engine cycle benched with metrics off, with the
+# registry counters only, with the default-window sampler, and with the
+# sampler plus a continuously scraped HTTP exporter; writes
+# results/metrics_overhead.txt. The MetricsOff row must match the unmetered
+# saturation bench, and the Registry/Sampler rows must report 0 allocs/op.
+bench-metrics:
+	$(GO) test -run NONE -bench 'EngineStepMetrics' -benchmem -benchtime 2s \
+		. | tee results/metrics_overhead.txt
+
 # CPU and heap profiles of the kernel benchmarks; writes pprof artifacts
 # under results/. Inspect with: go tool pprof results/cpu.pprof
 profile:
@@ -84,4 +123,7 @@ clean:
 	rm -f /tmp/wormnet-loadsweep /tmp/wormnet-serial.json \
 		/tmp/wormnet-par.json /tmp/wormnet-resumed.json /tmp/wormnet-sweep.jsonl \
 		/tmp/wormnet-wormsim /tmp/wormnet-traceview /tmp/wormnet-events.jsonl \
-		/tmp/wormnet-ring.jsonl /tmp/wormnet-trace-summary.txt
+		/tmp/wormnet-ring.jsonl /tmp/wormnet-trace-summary.txt \
+		/tmp/wormnet-metricsview /tmp/wormnet-metrics.pid \
+		/tmp/wormnet-run.series.jsonl /tmp/wormnet-plain.json /tmp/wormnet-metered.json
+	rm -rf /tmp/wormnet-series

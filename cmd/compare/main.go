@@ -66,14 +66,17 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint journal path prefix (run mode)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint journals (run mode)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output (run mode)")
-		traceDir   = flag.String("trace-dir", "", "dump per-run flight-recorder traces of failed/detecting runs into this directory (run/detlat mode)")
-		traceLast  = flag.Int("trace-last", 0, "events kept per run's trace ring, 0 = default capacity (run/detlat mode)")
 		detlat     = flag.Bool("detlat", false, "measure NDM-vs-PDM detection-latency histograms at one deadlock-prone operating point")
 		dlLoad     = flag.Float64("load", 2.0, "offered load in flits/cycle/node (detlat mode)")
 		dlVCs      = flag.Int("vcs", 1, "virtual channels per physical channel (detlat mode)")
 		dlTh       = flag.Int64("th", 16, "detection threshold in cycles (detlat mode)")
 	)
+	var obs harness.Observe
+	obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obs.Validate(); err != nil {
+		fail("%v", err)
+	}
 
 	if *detlat {
 		switch {
@@ -92,7 +95,7 @@ func main() {
 			k: *k, n: *n, vcs: *dlVCs, load: *dlLoad, th: *dlTh,
 			warmup: *warmup, measure: *measure, seed: *seed,
 			workers: *workers, replicates: *replicates, quiet: *quiet,
-			traceDir: *traceDir, traceLast: *traceLast,
+			obs: obs,
 		})
 		return
 	}
@@ -104,6 +107,7 @@ func main() {
 			"warmup": true, "measure": true, "seed": true, "relative": true,
 			"workers": true, "replicates": true, "checkpoint": true,
 			"resume": true, "quiet": true, "trace-dir": true, "trace-last": true,
+			"series-dir": true, "series-window": true,
 			"load": true, "vcs": true, "th": true,
 		}
 		var misused []string
@@ -139,9 +143,9 @@ func main() {
 			fail("-resume requires -checkpoint")
 		}
 		pdm = measureTable(*pdmTable, "pdm", *k, *n, *warmup, *measure, *seed,
-			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, *traceDir, *traceLast)
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, obs)
 		ndm = measureTable(*ndmTable, "ndm", *k, *n, *warmup, *measure, *seed,
-			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, *traceDir, *traceLast)
+			*relative, *workers, *replicates, *checkpoint, *resume, *quiet, obs)
 	} else {
 		var err error
 		if pdm, err = load(flag.Arg(0)); err != nil {
@@ -181,7 +185,7 @@ func main() {
 // measureTable runs one paper table on the harness.
 func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed uint64,
 	relative bool, workers, replicates int, checkpoint string, resume, quiet bool,
-	traceDir string, traceLast int) *exp.Result {
+	obs harness.Observe) *exp.Result {
 	tbl, err := exp.PaperTable(id)
 	if err != nil {
 		fail("%v", err)
@@ -194,10 +198,7 @@ func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed u
 	opt.Workers = workers
 	opt.Repeats = replicates
 	opt.Resume = resume
-	if traceDir != "" {
-		opt.TraceDir = traceDir + "-" + suffix
-		opt.TraceLast = traceLast
-	}
+	opt.Observe = obs.WithSuffix("-" + suffix)
 	if checkpoint != "" {
 		opt.Journal = checkpoint + "." + suffix
 	}
@@ -222,8 +223,7 @@ type detLatParams struct {
 	seed                uint64
 	workers, replicates int
 	quiet               bool
-	traceDir            string
-	traceLast           int
+	obs                 harness.Observe
 }
 
 // runDetLat measures the detection-latency distribution — cycles from the
@@ -255,8 +255,7 @@ func runDetLat(p detLatParams) {
 		Workers:    p.workers,
 		Replicates: p.replicates,
 		BaseSeed:   p.seed,
-		TraceDir:   p.traceDir,
-		TraceLast:  p.traceLast,
+		Observe:    p.obs,
 	}
 	if !p.quiet {
 		opt.Progress = os.Stderr

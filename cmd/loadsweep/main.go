@@ -103,9 +103,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume completed runs from the -checkpoint journal")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of the text table")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
-		traceDir   = flag.String("trace-dir", "", "dump per-run flight-recorder traces of failed/detecting runs into this directory")
-		traceLast  = flag.Int("trace-last", 0, "events kept per run's trace ring (0 = default capacity)")
 	)
+	var obs harness.Observe
+	obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Reject invalid invocations loudly instead of running a default sweep.
@@ -128,8 +128,9 @@ func main() {
 		fail("-replicates must be >= 1, got %d", *replicates)
 	case *resume && *checkpoint == "":
 		fail("-resume requires -checkpoint")
-	case *traceLast > 0 && *traceDir == "":
-		fail("-trace-last requires -trace-dir")
+	}
+	if err := obs.Validate(); err != nil {
+		fail("%v", err)
 	}
 
 	// Theoretical throughput bound for uniform-ish traffic: links per node
@@ -172,8 +173,7 @@ func main() {
 		BaseSeed:   *seed,
 		Journal:    *checkpoint,
 		Resume:     *resume,
-		TraceDir:   *traceDir,
-		TraceLast:  *traceLast,
+		Observe:    obs,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

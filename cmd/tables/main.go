@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"wormnet"
+	"wormnet/internal/harness"
 )
 
 func main() {
@@ -41,9 +42,9 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume completed cells from the -checkpoint journals")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of the text table")
-		traceDir   = flag.String("trace-dir", "", "dump per-run flight-recorder traces of failed/detecting cell runs into this directory (per-table suffix .t<N> is appended)")
-		traceLast  = flag.Int("trace-last", 0, "events kept per run's trace ring (0 = default capacity)")
 	)
+	var obs harness.Observe
+	obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	switch {
@@ -59,8 +60,9 @@ func main() {
 	case *resume && *checkpoint == "":
 		fmt.Fprintln(os.Stderr, "tables: -resume requires -checkpoint")
 		os.Exit(2)
-	case *traceLast > 0 && *traceDir == "":
-		fmt.Fprintln(os.Stderr, "tables: -trace-last requires -trace-dir")
+	}
+	if err := obs.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(2)
 	}
 
@@ -83,10 +85,10 @@ func main() {
 		if *checkpoint != "" {
 			opt.Journal = fmt.Sprintf("%s.t%d", *checkpoint, id)
 		}
-		if *traceDir != "" {
-			opt.TraceDir = fmt.Sprintf("%s.t%d", *traceDir, id)
-			opt.TraceLast = *traceLast
-		}
+		// Per-table suffix keeps one table's dumps apart from the next.
+		tObs := obs.WithSuffix(fmt.Sprintf(".t%d", id))
+		opt.TraceDir, opt.TraceLast = tObs.TraceDir, tObs.TraceLast
+		opt.SeriesDir, opt.SeriesWindow = tObs.SeriesDir, tObs.SeriesWindow
 		start := time.Now()
 		if !*quiet {
 			opt.Progress = func(done, total int) {

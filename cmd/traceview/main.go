@@ -16,6 +16,10 @@
 // if nothing was detected, the first injected one.
 //
 //	traceview -msg 17 events.jsonl
+//
+// Traces are streamed a line at a time, never loaded whole, so traces far
+// larger than memory are fine. The timeline view makes multiple passes over
+// its input; stdin is spooled to a temporary file to allow that.
 package main
 
 import (
@@ -39,105 +43,155 @@ func main() {
 		summary = flag.Bool("summary", false, "print only the per-kind summary (the default when -msg is not set)")
 	)
 	flag.Parse()
+	timeline := !*summary || *msg >= 0
 
-	var rd io.Reader = os.Stdin
+	var f *os.File
 	name := "<stdin>"
 	switch len(flag.Args()) {
 	case 0:
+		f = os.Stdin
+		if timeline {
+			// The timeline needs several passes; stdin only offers one.
+			spool, err := os.CreateTemp("", "traceview-*.jsonl")
+			if err != nil {
+				fail("%v", err)
+			}
+			defer os.Remove(spool.Name())
+			defer spool.Close()
+			if _, err := io.Copy(spool, os.Stdin); err != nil {
+				fail("spooling stdin: %v", err)
+			}
+			if err := rewind(spool); err != nil {
+				fail("%v", err)
+			}
+			f = spool
+		}
 	case 1:
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
+		var err error
+		if f, err = os.Open(flag.Arg(0)); err != nil {
 			fail("%v", err)
 		}
 		defer f.Close()
-		rd, name = f, flag.Arg(0)
+		name = flag.Arg(0)
 	default:
 		fail("at most one trace file (or stdin)")
 	}
 
-	events, err := trace.Decode(rd)
+	sum, err := scanSummary(f)
 	if err != nil {
-		fail("%v", err)
+		fail("%s: %v", name, err)
 	}
-	if len(events) == 0 {
+	if sum.total == 0 {
 		fail("%s: empty trace", name)
 	}
-
-	timeline := !*summary || *msg >= 0
-	printSummary(name, events)
+	sum.print(name)
 	if !timeline {
 		return
 	}
 
 	id := router.MsgID(*msg)
 	if *msg < 0 {
-		id = pickMessage(events)
+		id = sum.pickMessage()
 		if id == router.NilMsg {
 			return // trace has no message events at all
 		}
 	}
 	fmt.Println()
-	printTimeline(events, id)
+	if err := printTimeline(f, id); err != nil {
+		fail("%s: %v", name, err)
+	}
 }
 
-// printSummary reports what the trace contains.
-func printSummary(name string, events []trace.Event) {
-	var counts [64]int
-	first, last := events[0].Cycle, events[0].Cycle
-	var detects, trueDetects int
-	for _, ev := range events {
-		if int(ev.Kind) < len(counts) {
-			counts[ev.Kind]++
+// rewind seeks back to the start of the trace for another streaming pass.
+func rewind(f *os.File) error {
+	_, err := f.Seek(0, io.SeekStart)
+	return err
+}
+
+// summaryStats accumulates the single-pass summary of a trace.
+type summaryStats struct {
+	counts               [64]int
+	total                int
+	first, last          int64
+	detects, trueDetects int
+	firstDetected        router.MsgID
+	firstMsg             router.MsgID
+}
+
+// scanSummary makes one streaming pass collecting per-kind counts, the cycle
+// span, detection verdicts, and the default message for the timeline view.
+func scanSummary(rd io.Reader) (*summaryStats, error) {
+	s := &summaryStats{firstDetected: router.NilMsg, firstMsg: router.NilMsg}
+	err := trace.Scan(rd, func(ev trace.Event) error {
+		if s.total == 0 {
+			s.first, s.last = ev.Cycle, ev.Cycle
 		}
-		if ev.Cycle < first {
-			first = ev.Cycle
+		s.total++
+		if int(ev.Kind) < len(s.counts) {
+			s.counts[ev.Kind]++
 		}
-		if ev.Cycle > last {
-			last = ev.Cycle
+		if ev.Cycle < s.first {
+			s.first = ev.Cycle
+		}
+		if ev.Cycle > s.last {
+			s.last = ev.Cycle
 		}
 		if ev.Kind == trace.KindDetect {
-			detects++
+			s.detects++
 			if ev.Arg == 1 {
-				trueDetects++
+				s.trueDetects++
+			}
+			if s.firstDetected == router.NilMsg {
+				s.firstDetected = ev.Msg
 			}
 		}
+		if s.firstMsg == router.NilMsg && ev.Msg != router.NilMsg {
+			s.firstMsg = ev.Msg
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	fmt.Printf("%s: %d events over cycles %d..%d\n", name, len(events), first, last)
-	for k, c := range counts {
+	return s, nil
+}
+
+// print reports what the trace contains.
+func (s *summaryStats) print(name string) {
+	fmt.Printf("%s: %d events over cycles %d..%d\n", name, s.total, s.first, s.last)
+	for k, c := range s.counts {
 		if c > 0 {
 			fmt.Printf("  %-16s %d\n", trace.Kind(k).String(), c)
 		}
 	}
-	if detects > 0 {
-		fmt.Printf("detections: %d (%d confirmed true by the oracle)\n", detects, trueDetects)
+	if s.detects > 0 {
+		fmt.Printf("detections: %d (%d confirmed true by the oracle)\n", s.detects, s.trueDetects)
 	}
 }
 
 // pickMessage selects the message to render: the first detected one, or the
-// first injected one.
-func pickMessage(events []trace.Event) router.MsgID {
-	for _, ev := range events {
-		if ev.Kind == trace.KindDetect {
-			return ev.Msg
-		}
+// first one carrying a message id.
+func (s *summaryStats) pickMessage() router.MsgID {
+	if s.firstDetected != router.NilMsg {
+		return s.firstDetected
 	}
-	for _, ev := range events {
-		if ev.Msg != router.NilMsg {
-			return ev.Msg
-		}
-	}
-	return router.NilMsg
+	return s.firstMsg
 }
 
 // printTimeline renders every event involving message id, plus the flag
-// activity of the channels the message touched, cycle by cycle.
-func printTimeline(events []trace.Event, id router.MsgID) {
+// activity of the channels the message touched, cycle by cycle. Two more
+// streaming passes: one to learn which channels the message used, one to
+// print.
+func printTimeline(f *os.File, id router.MsgID) error {
 	// Channels the message touched (as input or requested output), so flag
 	// events on them are part of its story.
 	links := map[router.LinkID]bool{}
-	for _, ev := range events {
+	if err := rewind(f); err != nil {
+		return err
+	}
+	err := trace.Scan(f, func(ev trace.Event) error {
 		if ev.Msg != id {
-			continue
+			return nil
 		}
 		if ev.Link != router.NilLink {
 			links[ev.Link] = true
@@ -148,22 +202,29 @@ func printTimeline(events []trace.Event, id router.MsgID) {
 		if ev.Kind == trace.KindGSet && ev.Aux >= 0 {
 			links[router.LinkID(ev.Aux)] = true
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if len(links) == 0 {
 		fmt.Printf("message %d: no events in trace\n", id)
-		return
+		return nil
 	}
 	fmt.Printf("message %d timeline (own events and flag activity on its %d channel(s)):\n", id, len(links))
 	lastCycle := int64(-1)
 	n := 0
-	for _, ev := range events {
+	if err := rewind(f); err != nil {
+		return err
+	}
+	err = trace.Scan(f, func(ev trace.Event) error {
 		own := ev.Msg == id
 		onLink := ev.Link != router.NilLink && links[ev.Link]
 		// Flag events carry no message; show them when they touch one of
 		// the message's channels. Foreign messages' events on those
 		// channels are context too, but only the flag/VC ones matter.
 		if !own && !(onLink && interesting(ev.Kind)) {
-			continue
+			return nil
 		}
 		if ev.Cycle != lastCycle {
 			fmt.Printf("cycle %d:\n", ev.Cycle)
@@ -175,8 +236,13 @@ func printTimeline(events []trace.Event, id router.MsgID) {
 		}
 		fmt.Printf("  %s %s\n", marker, describe(ev))
 		n++
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Printf("%d events\n", n)
+	return nil
 }
 
 // interesting reports whether a foreign event kind is context for a message

@@ -42,6 +42,10 @@ func main() {
 		observe   = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
 		tracePath = flag.String("trace", "", "write flight-recorder events to this JSONL file")
 		traceLast = flag.Int("trace-last", 0, "keep only the last N events in a ring, written only if a detection fires or the run fails (0 streams everything)")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve live Prometheus /metrics, JSON /status and /debug/pprof on this address while the run is in flight (\":0\" picks a free port, printed to stderr)")
+		metricsWindow = flag.Int64("metrics-window", 0, "cycles per time-series sample window (0 = default)")
+		seriesPath    = flag.String("series", "", "write the sampled time series to this file after the run (.csv for CSV, anything else JSONL)")
 	)
 	flag.Parse()
 
@@ -67,12 +71,28 @@ func main() {
 	cfg.OracleEvery = *oracle
 	cfg.TracePath = *tracePath
 	cfg.TraceLast = *traceLast
+	cfg.MetricsAddr = *metricsAddr
+	cfg.MetricsWindow = *metricsWindow
+	cfg.SeriesPath = *seriesPath
+	if *metricsAddr != "" {
+		cfg.MetricsReady = func(addr string) {
+			fmt.Fprintf(os.Stderr, "wormsim: metrics listening on http://%s/metrics\n", addr)
+		}
+	}
 	if *traceLast > 0 && *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "wormsim: -trace-last requires -trace")
 		os.Exit(2)
 	}
+	if *metricsWindow > 0 && *metricsAddr == "" && *seriesPath == "" {
+		fmt.Fprintln(os.Stderr, "wormsim: -metrics-window requires -metrics-addr or -series")
+		os.Exit(2)
+	}
 	if *tracePath != "" && *observe > 0 {
 		fmt.Fprintln(os.Stderr, "wormsim: -trace cannot be combined with -observe")
+		os.Exit(2)
+	}
+	if (*metricsAddr != "" || *seriesPath != "") && *observe > 0 {
+		fmt.Fprintln(os.Stderr, "wormsim: -metrics-addr/-series cannot be combined with -observe")
 		os.Exit(2)
 	}
 

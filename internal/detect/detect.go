@@ -78,6 +78,18 @@ type DTOccupier interface {
 	DTCount() int
 }
 
+// FlagObserver is implemented by detectors that can report the live
+// occupancy of their detection flags: how many output channels have the
+// short-term inactivity (I) flag set, how many have the detection-threshold
+// (DT) flag set, and how many input channels currently hold G. Mechanisms
+// without a flag class report zero for it (PDM has only its inactivity
+// flag, which maps onto DT). The metrics sampler probes this once per
+// sampling window; the counts are maintained incrementally so probing is
+// O(1).
+type FlagObserver interface {
+	FlagCounts() (iFlags, dtFlags, gFlags int)
+}
+
 // None is a Detector that never marks anything. It is used to measure raw
 // network behavior (including unrecovered deadlocks) and as a baseline in
 // tests.

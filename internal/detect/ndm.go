@@ -58,7 +58,9 @@ type NDM struct {
 	iFlag   []bool
 	dtFlag  []bool
 	gp      []bool // true = G, false = P; input-capable links only
+	iBusy   int    // number of links with iFlag set
 	dtBusy  int    // number of links with dtFlag set (DT occupancy)
+	gBusy   int    // number of input channels currently at G
 
 	inputs [][]router.LinkID // per node: input channels of its router
 
@@ -107,6 +109,12 @@ func (d *NDM) SetTracer(tr *trace.Recorder) { d.tr = tr }
 // DTCount implements DTOccupier: the number of output channels whose DT flag
 // is currently set.
 func (d *NDM) DTCount() int { return d.dtBusy }
+
+// FlagCounts implements FlagObserver: the live occupancy of the I, DT and G
+// flags.
+func (d *NDM) FlagCounts() (iFlags, dtFlags, gFlags int) {
+	return d.iBusy, d.dtBusy, d.gBusy
+}
 
 // IFlagSet reports the I flag of link l (exported for tests and scenario
 // reconstruction).
@@ -178,6 +186,7 @@ func (d *NDM) setG(in router.LinkID, msg router.MsgID, rule int64, out router.Li
 		return
 	}
 	d.gp[in] = true
+	d.gBusy++
 	d.tr.Emit(trace.KindGSet, msg, in, int32(d.f.RouterOf(in)), rule, int32(out))
 }
 
@@ -187,6 +196,7 @@ func (d *NDM) setP(in router.LinkID, msg router.MsgID, reason int64) {
 		return
 	}
 	d.gp[in] = false
+	d.gBusy--
 	d.tr.Emit(trace.KindPSet, msg, in, int32(d.f.RouterOf(in)), reason, -1)
 }
 
@@ -206,6 +216,7 @@ func (d *NDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 			// waiting messages in this router (Figure 5).
 			d.promote(id)
 			d.iFlag[l] = false
+			d.iBusy--
 			d.tr.Emit(trace.KindIClear, router.NilMsg, id, -1, 0, -1)
 		}
 		if d.dtFlag[l] {
@@ -225,6 +236,7 @@ func (d *NDM) EndCycle(_ int64, txLinks []router.LinkID, transmitted []bool) {
 		d.counter[l]++
 		if d.counter[l] > d.T1 && !d.iFlag[l] {
 			d.iFlag[l] = true
+			d.iBusy++
 			d.tr.Emit(trace.KindISet, router.NilMsg, id, -1, 0, -1)
 		}
 		if d.counter[l] > d.T2 && !d.dtFlag[l] {

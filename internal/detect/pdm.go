@@ -58,6 +58,12 @@ func (d *PDM) SetTracer(tr *trace.Recorder) { d.tr = tr }
 // inactivity flag is currently set.
 func (d *PDM) DTCount() int { return d.ifBusy }
 
+// FlagCounts implements FlagObserver. PDM's single inactivity flag is its
+// detection threshold, so it reports as DT; PDM has no I or G/P hardware.
+func (d *PDM) FlagCounts() (iFlags, dtFlags, gFlags int) {
+	return 0, d.ifBusy, 0
+}
+
 // InactivitySet reports the IF flag of link l (exported for tests).
 func (d *PDM) InactivitySet(l router.LinkID) bool { return d.ifFlag[l] }
 

@@ -164,11 +164,9 @@ type Options struct {
 	// ProgressWriter, when non-nil, receives the harness's live progress
 	// line (runs done, ETA, worker utilization).
 	ProgressWriter io.Writer
-	// TraceDir, when non-empty, attaches a flight recorder to every cell
-	// run and dumps the last TraceLast events of runs that failed or
-	// detected a deadlock (see harness.Options.TraceDir).
-	TraceDir  string
-	TraceLast int
+	// Observe configures per-cell flight-recorder and metrics-series dumps
+	// (see harness.Observe).
+	Observe harness.Observe
 }
 
 // DefaultOptions returns full-scale reproduction settings (the paper's
@@ -281,8 +279,7 @@ func Run(tbl Table, opt Options) (*Result, error) {
 		Resume:      opt.Resume,
 		Progress:    opt.ProgressWriter,
 		OnPointDone: opt.Progress,
-		TraceDir:    opt.TraceDir,
-		TraceLast:   opt.TraceLast,
+		Observe:     opt.Observe,
 	})
 	if err != nil {
 		return nil, err

@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wormnet/internal/metrics"
 	"wormnet/internal/rng"
 	"wormnet/internal/sim"
 	"wormnet/internal/stats"
@@ -78,16 +79,9 @@ type Options struct {
 	// collector — each time all replicates of a point have finished, with
 	// the number of finished points and the total.
 	OnPointDone func(done, total int)
-	// TraceDir, when non-empty, attaches a distinct flight recorder to
-	// every run (recorders are single-owner, so sharing one across the
-	// worker pool would race) and dumps its ring to
-	// TraceDir/p<point>-r<rep>-<key>.jsonl for each run that failed or
-	// recorded a detection verdict. Healthy, detection-free runs leave no
-	// file. The directory is created if missing.
-	TraceDir string
-	// TraceLast bounds each run's ring to the most recent TraceLast events
-	// (trace.DefaultCapacity when <= 0).
-	TraceLast int
+	// Observe configures per-run flight-recorder and metrics-series dumps
+	// (shared with the sweep CLIs; see its field docs).
+	Observe
 	// Run overrides the run function (default sim.Run), mainly for tests.
 	Run func(key string, cfg sim.Config) (*sim.Result, error)
 }
@@ -185,6 +179,7 @@ type outcome struct {
 	job
 	res *sim.Result
 	err error
+	mc  *metrics.Collector
 }
 
 // Run executes every (point, replicate) of the sweep and returns one
@@ -214,10 +209,8 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 	if run == nil {
 		run = func(_ string, cfg sim.Config) (*sim.Result, error) { return sim.Run(cfg) }
 	}
-	if opt.TraceDir != "" {
-		if err := os.MkdirAll(opt.TraceDir, 0o755); err != nil {
-			return nil, fmt.Errorf("harness: trace dir: %w", err)
-		}
+	if err := opt.Observe.prepare(); err != nil {
+		return nil, err
 	}
 
 	results := make([]PointResult, len(points))
@@ -293,33 +286,37 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 	prog := newProgress(opt.Progress, len(points), len(points)*replicates, len(jobs))
 	prog.report(pointsDone, len(loaded), 0, workers, false)
 
+	var agg *metrics.Registry
+	if opt.SeriesDir != "" {
+		agg = metrics.NewRegistry()
+	}
+
 	if len(jobs) > 0 {
 		jobCh := make(chan job)
 		outCh := make(chan outcome)
 		var busy atomic.Int32
-		var traceErrOnce sync.Once
-		var traceErr error
+		var obsErrOnce sync.Once
+		var obsErr error
 		for w := 0; w < workers; w++ {
 			go func() {
 				for j := range jobCh {
 					busy.Add(1)
 					cfg := points[j.point].Config
 					cfg.Seed = j.seed
-					// Each run gets its own recorder: Point.Config is shared
-					// across replicates and recorders are single-owner.
-					var rec *trace.Recorder
-					if opt.TraceDir != "" {
-						rec = trace.NewRecorder(opt.TraceLast)
-						cfg.Trace = rec
-					}
+					rec, mc := opt.Observe.attach(&cfg)
 					res, err := safeRun(run, points[j.point].Key, cfg)
 					if rec != nil && (err != nil || rec.Contains(trace.KindDetect)) {
 						if terr := dumpTrace(opt.TraceDir, j.point, j.rep, points[j.point].Key, rec); terr != nil {
-							traceErrOnce.Do(func() { traceErr = terr })
+							obsErrOnce.Do(func() { obsErr = terr })
+						}
+					}
+					if mc != nil && err == nil {
+						if serr := dumpSeries(opt.SeriesDir, j.point, j.rep, points[j.point].Key, mc); serr != nil {
+							obsErrOnce.Do(func() { obsErr = serr })
 						}
 					}
 					busy.Add(-1)
-					outCh <- outcome{job: j, res: res, err: err}
+					outCh <- outcome{job: j, res: res, err: err, mc: mc}
 				}
 			}()
 		}
@@ -333,6 +330,11 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 		runsDone := len(loaded)
 		for range jobs {
 			o := <-outCh
+			if agg != nil && o.mc != nil && o.err == nil {
+				// Merge is commutative, so folding in completion order still
+				// yields a deterministic aggregate.
+				agg.Merge(o.mc.Registry())
+			}
 			pr := &results[o.point]
 			pr.Runs[o.rep] = o.res
 			if o.err != nil {
@@ -357,8 +359,13 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 			runsDone++
 			prog.report(pointsDone, runsDone, runsDone-len(loaded), int(busy.Load()), runsDone == len(points)*replicates)
 		}
-		if traceErr != nil {
-			return nil, fmt.Errorf("harness: writing trace files: %w", traceErr)
+		if obsErr != nil {
+			return nil, fmt.Errorf("harness: writing observation files: %w", obsErr)
+		}
+	}
+	if agg != nil {
+		if err := writeAggregate(opt.SeriesDir, agg); err != nil {
+			return nil, fmt.Errorf("harness: writing sweep aggregate: %w", err)
 		}
 	}
 	prog.finish()

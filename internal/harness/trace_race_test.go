@@ -45,8 +45,7 @@ func TestTracedSweepRace(t *testing.T) {
 		Workers:    4,
 		Replicates: 4,
 		BaseSeed:   7,
-		TraceDir:   dir,
-		TraceLast:  512,
+		Observe:    Observe{TraceDir: dir, TraceLast: 512},
 	})
 	if err != nil {
 		t.Fatal(err)

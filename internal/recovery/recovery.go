@@ -63,6 +63,9 @@ type Engine struct {
 	hooks Hooks
 	// active holds messages undergoing progressive absorption.
 	active []router.MsgID
+	// absorbedFlits counts flits consumed through absorption ports over the
+	// whole run (telemetry; never feeds back into recovery decisions).
+	absorbedFlits int64
 }
 
 // New builds a recovery engine over fabric f.
@@ -81,6 +84,10 @@ func (e *Engine) Style() Style { return e.style }
 
 // Active returns the number of messages currently being absorbed.
 func (e *Engine) Active() int { return len(e.active) }
+
+// AbsorbedFlits returns the cumulative number of flits consumed through
+// absorption ports (progressive recovery only).
+func (e *Engine) AbsorbedFlits() int64 { return e.absorbedFlits }
 
 // Mark begins recovery of message m, which a detection mechanism has just
 // declared deadlocked.
@@ -132,6 +139,7 @@ func (e *Engine) absorbOne(m *router.Message) bool {
 	tail := vc.HasTail && vc.Flits == 1
 	vc.Flits--
 	m.Consumed++
+	e.absorbedFlits++
 	if vc.HasHeader {
 		vc.HasHeader = false
 	}

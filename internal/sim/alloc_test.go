@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"wormnet/internal/detect"
+	"wormnet/internal/metrics"
 	"wormnet/internal/router"
 	"wormnet/internal/trace"
 )
@@ -12,7 +13,7 @@ import (
 // allocations of one simulation cycle. The run is held in the warm-up phase
 // so histogram growth (a legitimate, amortized cost of the measurement
 // window) does not mask a hot-path regression.
-func measureStepAllocs(t *testing.T, tr *trace.Recorder) float64 {
+func measureStepAllocs(t *testing.T, tr *trace.Recorder, mc *metrics.Collector) float64 {
 	t.Helper()
 	cfg := smallConfig()
 	cfg.Debug = false
@@ -21,6 +22,7 @@ func measureStepAllocs(t *testing.T, tr *trace.Recorder) float64 {
 	cfg.Warmup = 1 << 40
 	cfg.Detector = func(f *router.Fabric) detect.Detector { return detect.NewNDM(f, 16) }
 	cfg.Trace = tr
+	cfg.Metrics = mc
 	e, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -44,7 +46,7 @@ func measureStepAllocs(t *testing.T, tr *trace.Recorder) float64 {
 // disabled (the default), every emit site must cost exactly the nil-check
 // branch: zero allocations.
 func TestStepSteadyStateAllocationFree(t *testing.T) {
-	if avg := measureStepAllocs(t, nil); avg != 0 {
+	if avg := measureStepAllocs(t, nil, nil); avg != 0 {
 		t.Fatalf("steady-state Step allocates %.3f times per cycle, want 0", avg)
 	}
 }
@@ -54,10 +56,28 @@ func TestStepSteadyStateAllocationFree(t *testing.T) {
 // overwriting the oldest.
 func TestStepTracedRingAllocationFree(t *testing.T) {
 	rec := trace.NewRecorder(1024)
-	if avg := measureStepAllocs(t, rec); avg != 0 {
+	if avg := measureStepAllocs(t, rec, nil); avg != 0 {
 		t.Fatalf("ring-traced steady-state Step allocates %.3f times per cycle, want 0", avg)
 	}
 	if rec.Total() == 0 {
 		t.Fatal("recorder saw no events; the zero-allocation result proves nothing")
+	}
+}
+
+// TestStepMeteredAllocationFree: with a metrics collector attached, the hot
+// path must still not allocate — counters are atomic adds, and the sampler's
+// window snapshots land in pre-sized scratch and ring slots. The window is
+// set small enough that the measured cycles include sampling boundaries, so
+// takeSample itself is under the meter.
+func TestStepMeteredAllocationFree(t *testing.T) {
+	mc := metrics.NewCollector(metrics.Options{Window: 64})
+	if avg := measureStepAllocs(t, nil, mc); avg != 0 {
+		t.Fatalf("metered steady-state Step allocates %.3f times per cycle, want 0", avg)
+	}
+	if mc.SampleCount() == 0 {
+		t.Fatal("collector took no samples; the zero-allocation result proves nothing")
+	}
+	if mc.Value(metrics.MDelivered) == 0 {
+		t.Fatal("collector counted no deliveries; instrumentation sites are not firing")
 	}
 }

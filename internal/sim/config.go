@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"wormnet/internal/detect"
+	"wormnet/internal/metrics"
 	"wormnet/internal/recovery"
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
@@ -100,6 +101,16 @@ type Config struct {
 	// concurrent sweeps must attach a distinct Recorder per run (the
 	// harness's TraceDir option does exactly that).
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, attaches the live telemetry collector: the
+	// engine updates its counters at the same instrumentation sites the
+	// flight recorder uses and lets its sampler snapshot network state every
+	// window. Like tracing, metrics are pure observation — simulation output
+	// is byte-identical with or without them — and the nil default costs one
+	// branch per site with zero allocations. A Collector is single-run
+	// (Attach panics on reuse), so concurrent sweeps must build one per run,
+	// as the harness's SeriesDir option does.
+	Metrics *metrics.Collector
 
 	// Debug enables per-cycle fabric invariant checking (slow).
 	Debug bool

@@ -5,6 +5,7 @@ import (
 
 	"wormnet/internal/deadlock"
 	"wormnet/internal/detect"
+	"wormnet/internal/metrics"
 	"wormnet/internal/recovery"
 	"wormnet/internal/rng"
 	"wormnet/internal/router"
@@ -60,9 +61,19 @@ type Engine struct {
 	// tr is the flight recorder; nil when tracing is off. All Recorder
 	// methods are nil-safe, so emit sites do not guard the pointer.
 	tr *trace.Recorder
+	// mc is the live metrics collector; nil when metrics are off. Collector
+	// methods are nil-safe, so counter sites do not guard the pointer; the
+	// per-cycle block in Step does, to skip its side computations entirely.
+	mc *metrics.Collector
+	// lastAbsorbedFlits is the recovery absorption total already forwarded
+	// to the metrics collector.
+	lastAbsorbedFlits int64
 	// dtCount samples the detector's DT-flag occupancy; nil when the
 	// detector does not implement detect.DTOccupier.
 	dtCount func() int
+	// flagCounts samples the detector's live I/DT/G flag occupancy for the
+	// metrics sampler; nil when the detector is not a detect.FlagObserver.
+	flagCounts func() (int, int, int)
 	// oracleSeen[id] is the cycle the oracle first observed message id in
 	// the deadlocked set (-1 = not currently deadlocked). Cleared when the
 	// message routes, delivers, or is re-queued. Grown on demand; in steady
@@ -118,6 +129,7 @@ func New(cfg Config) (*Engine, error) {
 		detLatHist:  stats.NewHistogram(1.25),
 		alg:         cfg.Routing,
 		tr:          cfg.Trace,
+		mc:          cfg.Metrics,
 	}
 	e.oracle.SetCandidates(func(m *router.Message, node int, buf []router.VCID) []router.VCID {
 		return e.alg.Candidates(fab, m, node, buf)
@@ -133,6 +145,10 @@ func New(cfg Config) (*Engine, error) {
 	if o, ok := e.det.(detect.DTOccupier); ok {
 		e.dtCount = o.DTCount
 	}
+	if o, ok := e.det.(detect.FlagObserver); ok {
+		e.flagCounts = o.FlagCounts
+	}
+	e.mc.Attach(e.det.Name(), topo.N())
 	e.rec = recovery.New(fab, cfg.Recovery, recovery.Hooks{
 		VCFreed: func(l router.LinkID) {
 			e.tr.Emit(trace.KindVCFree, router.NilMsg, l, -1, 0, -1)
@@ -211,6 +227,10 @@ func (e *Engine) DetectLatencyHistogram() *stats.Histogram { return e.detLatHist
 // Tracer returns the attached flight recorder, or nil when tracing is off.
 func (e *Engine) Tracer() *trace.Recorder { return e.tr }
 
+// Metrics returns the attached metrics collector, or nil when metrics are
+// off.
+func (e *Engine) Metrics() *metrics.Collector { return e.mc }
+
 // FailLink injects a fault: physical channel l is taken out of service and
 // every worm currently holding one of its virtual channels is killed and
 // re-queued at its source (the standard abort-and-retry response to a
@@ -235,6 +255,7 @@ func (e *Engine) FailLink(l router.LinkID) {
 		}
 		e.requeue(m, int(m.Src))
 	}
+	e.mc.Inc(metrics.MLinkFailures)
 	if e.measuring {
 		e.st.LinkFailures++
 	}
@@ -250,6 +271,7 @@ func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
 	m := e.fab.NewMessage(src, dst, length, e.now)
 	m.Phase = router.PhaseQueued
 	e.queues[src].Push(m.ID)
+	e.mc.Inc(metrics.MGenerated)
 	if e.measuring {
 		e.st.Generated++
 	}
@@ -315,6 +337,18 @@ func (e *Engine) Step() error {
 	if e.measuring {
 		e.st.RecordMarks(e.marksThisCycle)
 	}
+	if e.mc != nil {
+		// One guarded block rather than three nil-safe calls: the DT-flag
+		// probe and absorption delta are side computations the unmetered
+		// path must not pay for.
+		if e.dtCount != nil {
+			e.mc.Add(metrics.MDTFlagCycles, int64(e.dtCount()))
+		}
+		af := e.rec.AbsorbedFlits()
+		e.mc.Add(metrics.MAbsorbedFlits, af-e.lastAbsorbedFlits)
+		e.lastAbsorbedFlits = af
+		e.mc.EndCycle(e.now, e)
+	}
 
 	if e.cfg.Debug {
 		if err := e.fab.CheckInvariants(); err != nil {
@@ -345,6 +379,7 @@ func (e *Engine) generate() {
 		m := e.fab.NewMessage(node, dst, length, e.now)
 		m.Phase = router.PhaseQueued
 		e.queues[node].Push(m.ID)
+		e.mc.Inc(metrics.MGenerated)
 		if e.measuring {
 			e.st.Generated++
 		}
@@ -391,6 +426,7 @@ func (e *Engine) admit() {
 			e.injecting = append(e.injecting, m.ID)
 			e.tr.Emit(trace.KindInject, m.ID, l, int32(node), int64(m.Length), int32(m.Dst))
 			e.tr.Emit(trace.KindVCAlloc, m.ID, l, int32(node), 0, int32(vc))
+			e.mc.Inc(metrics.MInjected)
 			if e.measuring {
 				e.st.Injected++
 			}
@@ -520,6 +556,9 @@ func (e *Engine) deliver(m *router.Message) {
 	m.DeliverTime = e.now
 	e.tr.Emit(trace.KindDeliver, m.ID, router.NilLink, int32(m.Dst), e.now-m.GenTime, -1)
 	e.clearOracleSeen(m.ID)
+	e.mc.Inc(metrics.MDelivered)
+	e.mc.Add(metrics.MDeliveredFlits, int64(m.Length))
+	e.mc.ObserveLatency(e.now - m.GenTime)
 	if e.measuring {
 		e.st.Delivered++
 		e.st.DeliveredFlits += int64(m.Length)
@@ -618,6 +657,11 @@ func (e *Engine) mark(m *router.Message) {
 		node = int32(e.fab.RouterOf(e.fab.LinkOfVC(m.HeadVC)))
 	}
 	e.tr.Emit(trace.KindDetect, m.ID, router.NilLink, node, verdict, -1)
+	if m.TrueDeadlock {
+		e.mc.Inc(metrics.MMarkedTrue)
+	} else {
+		e.mc.Inc(metrics.MMarkedFalse)
+	}
 	if e.measuring {
 		e.st.Marked++
 		if m.TrueDeadlock {
@@ -627,10 +671,14 @@ func (e *Engine) mark(m *router.Message) {
 		}
 	}
 	e.marksThisCycle++
+	e.mc.ObserveDetectDelay(e.now - m.BlockedSince)
 	if e.measuring {
 		e.delayHist.Add(e.now - m.BlockedSince)
-		if m.TrueDeadlock && int(m.ID) < len(e.oracleSeen) {
-			if seen := e.oracleSeen[m.ID]; seen >= 0 {
+	}
+	if m.TrueDeadlock && int(m.ID) < len(e.oracleSeen) {
+		if seen := e.oracleSeen[m.ID]; seen >= 0 {
+			e.mc.ObserveDetectLatency(e.now - seen)
+			if e.measuring {
 				e.detLatHist.Add(e.now - seen)
 			}
 		}
@@ -725,6 +773,7 @@ func (e *Engine) onRecovered(m *router.Message, node int) {
 		delivered = 1
 	}
 	e.tr.Emit(trace.KindRecoverEnd, m.ID, router.NilLink, int32(node), delivered, -1)
+	e.mc.Inc(metrics.MRecovered)
 	if e.measuring {
 		if e.cfg.Recovery == recovery.Progressive {
 			e.st.Absorbed++
@@ -757,6 +806,7 @@ func (e *Engine) requeue(m *router.Message, node int) {
 	m.InjLink = router.NilLink
 	m.Retries++
 	e.queues[node].Push(m.ID)
+	e.mc.Inc(metrics.MReinjected)
 	if e.measuring {
 		e.st.Reinjected++
 	}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"wormnet/internal/metrics"
+	"wormnet/internal/router"
+)
+
+// ProbeMetrics implements metrics.Prober: it fills the instantaneous gauge
+// fields of one time-series sample from the engine's current state. The
+// collector calls it on the engine goroutine at sampling-window boundaries
+// only, so the walks below (source queues, pending headers, occupied VCs,
+// busy links) are amortized over the window and allocation-free — every
+// structure visited is a pre-sized engine or fabric buffer.
+func (e *Engine) ProbeMetrics(s *metrics.Sample) {
+	queued := 0
+	for i := range e.queues {
+		queued += e.queues[i].Len()
+	}
+	s.Queued = int32(queued)
+
+	blocked := 0
+	for _, id := range e.pending {
+		m := e.fab.Msg(id)
+		if m.Phase == router.PhaseNetwork && m.Attempts > 0 {
+			blocked++
+		}
+	}
+	s.Blocked = int32(blocked)
+
+	fab := e.fab
+	s.BusyVCs = int32(len(fab.Occupied()))
+	s.BusyLinks = int32(len(fab.BusyLinks()))
+	var netVCs, injVCs, delVCs int32
+	for _, vc := range fab.Occupied() {
+		link := &fab.Links[fab.LinkOfVC(vc)]
+		switch link.Kind {
+		case router.NetworkLink:
+			netVCs++
+			if d := link.Dir.Dim(); d < len(s.DimVCs) {
+				s.DimVCs[d]++
+			}
+		case router.InjectionLink:
+			injVCs++
+		default:
+			delVCs++
+		}
+	}
+	for _, l := range fab.BusyLinks() {
+		link := &fab.Links[l]
+		if link.Kind == router.NetworkLink {
+			if d := link.Dir.Dim(); d < len(s.DimLinks) {
+				s.DimLinks[d]++
+			}
+		}
+	}
+	e.mc.SetClassVCs(netVCs, injVCs, delVCs)
+
+	if e.flagCounts != nil {
+		i, dt, g := e.flagCounts()
+		s.IFlags, s.DTFlags, s.GFlags = int32(i), int32(dt), int32(g)
+	}
+	s.RecoveryDepth = int32(e.rec.Active())
+	s.OracleSet = int32(e.oracleSize)
+}

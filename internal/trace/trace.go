@@ -376,27 +376,33 @@ type jsonEvent struct {
 	Aux   int32  `json:"aux"`
 }
 
-// Decode reads a JSONL event stream written by Dump or a streaming sink.
-func Decode(rd io.Reader) ([]Event, error) {
-	var out []Event
+// Scan streams a JSONL event stream written by Dump or a streaming sink,
+// calling fn once per event in file order. Unlike Decode it never holds more
+// than one line in memory, so arbitrarily long traces can be processed.
+// Malformed lines abort the scan with the 1-based line number and the byte
+// offset at which the line starts; an error returned by fn aborts it as-is.
+func Scan(rd io.Reader, fn func(Event) error) error {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	lineNo := 0
+	var offset int64
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
+		lineStart := offset
+		offset += int64(len(line)) + 1
 		if len(line) == 0 {
 			continue
 		}
 		je := jsonEvent{Msg: -1, Link: -1, Node: -1, Aux: -1}
 		if err := json.Unmarshal(line, &je); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return fmt.Errorf("trace: line %d (byte %d): %w", lineNo, lineStart, err)
 		}
 		kind, ok := KindByName(je.Kind)
 		if !ok {
-			return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, je.Kind)
+			return fmt.Errorf("trace: line %d (byte %d): unknown event kind %q", lineNo, lineStart, je.Kind)
 		}
-		out = append(out, Event{
+		if err := fn(Event{
 			Cycle: je.Cycle,
 			Kind:  kind,
 			Msg:   router.MsgID(je.Msg),
@@ -404,9 +410,21 @@ func Decode(rd io.Reader) ([]Event, error) {
 			Node:  je.Node,
 			Arg:   je.Arg,
 			Aux:   je.Aux,
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// Decode reads a JSONL event stream written by Dump or a streaming sink.
+// It loads the whole trace into memory; use Scan to stream instead.
+func Decode(rd io.Reader) ([]Event, error) {
+	var out []Event
+	if err := Scan(rd, func(ev Event) error {
+		out = append(out, ev)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return out, nil

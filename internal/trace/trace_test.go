@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -116,6 +117,39 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Decode(strings.NewReader(`{"cycle":1,"kind":"no-such-kind"}` + "\n")); err == nil {
 		t.Fatal("Decode accepted an unknown kind")
+	}
+}
+
+// TestScanReportsPosition: a malformed line aborts the scan naming the line
+// and the byte offset it starts at, so corrupt multi-gigabyte traces are
+// seekable to the damage.
+func TestScanReportsPosition(t *testing.T) {
+	good := `{"cycle":1,"kind":"inject","msg":1}` + "\n"
+	in := good + good + "{broken\n"
+	err := Scan(strings.NewReader(in), func(Event) error { return nil })
+	if err == nil {
+		t.Fatal("Scan accepted a malformed line")
+	}
+	if !strings.Contains(err.Error(), "line 3") ||
+		!strings.Contains(err.Error(), fmt.Sprintf("byte %d", 2*len(good))) {
+		t.Fatalf("err = %v, want line 3 at byte %d", err, 2*len(good))
+	}
+}
+
+// TestScanStopsOnCallbackError: fn's error aborts the scan unchanged.
+func TestScanStopsOnCallbackError(t *testing.T) {
+	in := strings.Repeat(`{"cycle":1,"kind":"inject"}`+"\n", 5)
+	seen := 0
+	sentinel := fmt.Errorf("stop")
+	err := Scan(strings.NewReader(in), func(Event) error {
+		seen++
+		if seen == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || seen != 2 {
+		t.Fatalf("err = %v after %d events; want the sentinel after 2", err, seen)
 	}
 }
 

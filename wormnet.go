@@ -20,9 +20,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"wormnet/internal/detect"
 	"wormnet/internal/exp"
+	"wormnet/internal/harness"
+	"wormnet/internal/metrics"
 	"wormnet/internal/recovery"
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
@@ -191,9 +195,30 @@ type Config struct {
 	// TraceLast == 0 every event is streamed to the file as it happens;
 	// with TraceLast > 0 only the most recent TraceLast events are kept in
 	// a ring, written out only when the run marked at least one message
-	// (or failed), so long healthy runs leave no file behind.
+	// (or failed), so long healthy runs leave no file behind. Missing
+	// parent directories are created.
 	TracePath string
 	TraceLast int
+
+	// MetricsAddr, when non-empty, attaches the live metrics collector
+	// (see internal/metrics) and serves it over HTTP at this address
+	// ("host:port"; ":0" picks an ephemeral port) for the duration of the
+	// run: Prometheus-text /metrics, a JSON /status snapshot, the sampled
+	// time series at /series, and the runtime profiles at /debug/pprof.
+	// Metrics are pure observation: results are identical with or without
+	// them.
+	MetricsAddr string
+	// MetricsWindow is the collector's sampling window in cycles (default
+	// 256). It also applies when SeriesPath alone enables the collector.
+	MetricsWindow int64
+	// SeriesPath, when non-empty, attaches the collector (with or without
+	// MetricsAddr) and writes its sampled time series to this file when the
+	// run finishes — JSONL by default, CSV when the path ends in ".csv".
+	// Missing parent directories are created.
+	SeriesPath string
+	// MetricsReady, when non-nil, is called with the exporter's bound
+	// address once it is listening (mainly useful with ":0").
+	MetricsReady func(addr string)
 }
 
 // DefaultConfig returns the paper's baseline: 8-ary 3-cube, 3 VCs with
@@ -405,6 +430,34 @@ func ResultFromSim(r *sim.Result) *Result {
 	return res
 }
 
+// createFile creates path's missing parent directories, then the file.
+func createFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
+}
+
+// writeSeries dumps a collector's sampled time series to path, as CSV when
+// the path ends in ".csv" and JSONL otherwise.
+func writeSeries(path string, mc *metrics.Collector) error {
+	f, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = mc.WriteSeriesCSV(f)
+	} else {
+		err = mc.WriteSeriesJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Run executes the simulation described by cfg and returns its metrics.
 func Run(cfg Config) (*Result, error) {
 	sc, err := cfg.simConfig()
@@ -417,13 +470,18 @@ func Run(cfg Config) (*Result, error) {
 		rec = trace.NewRecorder(cfg.TraceLast)
 		if cfg.TraceLast <= 0 {
 			// Streaming mode: every event goes to the file as it happens.
-			sink, err = os.Create(cfg.TracePath)
+			sink, err = createFile(cfg.TracePath)
 			if err != nil {
 				return nil, err
 			}
 			rec.SetSink(sink)
 		}
 		sc.Trace = rec
+	}
+	var mc *metrics.Collector
+	if cfg.MetricsAddr != "" || cfg.SeriesPath != "" {
+		mc = metrics.NewCollector(metrics.Options{Window: cfg.MetricsWindow})
+		sc.Metrics = mc
 	}
 	eng, err := sim.New(sc)
 	if err != nil {
@@ -432,7 +490,25 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil, err
 	}
+	if cfg.MetricsAddr != "" {
+		srv, serr := metrics.Serve(cfg.MetricsAddr, mc)
+		if serr != nil {
+			if sink != nil {
+				sink.Close()
+			}
+			return nil, fmt.Errorf("wormnet: metrics exporter: %w", serr)
+		}
+		defer srv.Close()
+		if cfg.MetricsReady != nil {
+			cfg.MetricsReady(srv.Addr())
+		}
+	}
 	r, runErr := eng.Run()
+	if runErr == nil && cfg.SeriesPath != "" {
+		if werr := writeSeries(cfg.SeriesPath, mc); werr != nil {
+			return nil, fmt.Errorf("wormnet: writing series %s: %w", cfg.SeriesPath, werr)
+		}
+	}
 	if sink != nil {
 		ferr := rec.Flush()
 		if cerr := sink.Close(); ferr == nil {
@@ -444,7 +520,7 @@ func Run(cfg Config) (*Result, error) {
 	} else if rec != nil && (runErr != nil || rec.Contains(trace.KindDetect)) {
 		// Ring mode: dump the flight recorder only when something went
 		// wrong or a detection fired, so healthy runs stay file-free.
-		f, cerr := os.Create(cfg.TracePath)
+		f, cerr := createFile(cfg.TracePath)
 		if cerr == nil {
 			if derr := rec.Dump(f); cerr == nil {
 				cerr = derr
@@ -531,6 +607,12 @@ type TableOptions struct {
 	// a deadlock to per-run JSONL files in that directory.
 	TraceDir  string
 	TraceLast int
+	// SeriesDir, if non-empty, attaches a metrics collector to every cell
+	// run, dumps per-run sampled time series there and merges the per-run
+	// registries into SeriesDir/aggregate.prom. SeriesWindow is the
+	// sampling window in cycles (default 256).
+	SeriesDir    string
+	SeriesWindow int64
 }
 
 // TableResult is a measured paper table; render it with Render.
@@ -592,8 +674,12 @@ func RunPaperTable(id int, opt TableOptions) (*TableResult, error) {
 	eo.Journal = opt.Journal
 	eo.Resume = opt.Resume
 	eo.Progress = opt.Progress
-	eo.TraceDir = opt.TraceDir
-	eo.TraceLast = opt.TraceLast
+	eo.Observe = harness.Observe{
+		TraceDir:     opt.TraceDir,
+		TraceLast:    opt.TraceLast,
+		SeriesDir:    opt.SeriesDir,
+		SeriesWindow: opt.SeriesWindow,
+	}
 	res, err := exp.Run(tbl, eo)
 	if err != nil {
 		return nil, err
