@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke trace-smoke metrics-smoke bench-harness bench-kernel bench-trace bench-metrics profile clean
+.PHONY: all build test race vet smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics profile clean
 
 all: vet test
 
@@ -110,6 +110,14 @@ bench-trace:
 bench-metrics:
 	$(GO) test -run NONE -bench 'EngineStepMetrics' -benchmem -benchtime 2s \
 		. | tee results/metrics_overhead.txt
+
+# Three-way NDM/PDM/CMH detection shootout at a deadlock-prone operating
+# point; regenerates results/cmh_shootout.txt (detection-latency
+# histograms, true/false mark split, probe bandwidth). See EXPERIMENTS.md.
+shootout: build
+	$(GO) run ./cmd/compare -detlat -mechs pdm,ndm,cmh -k 4 -n 2 -th 16 \
+		-measure 20000 > results/cmh_shootout.txt
+	@echo "shootout: wrote results/cmh_shootout.txt"
 
 # CPU and heap profiles of the kernel benchmarks; writes pprof artifacts
 # under results/. Inspect with: go tool pprof results/cpu.pprof

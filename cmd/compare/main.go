@@ -23,12 +23,20 @@
 // replicate), so results are independent of -workers, and -checkpoint /
 // -resume continue an interrupted measurement (one journal per table,
 // suffixed .pdm and .ndm).
+//
+// Detection-latency mode (-detlat): measure, for an arbitrary list of
+// mechanisms, the distribution of cycles from an oracle-confirmed deadlock
+// to the mechanism's mark at one deadlock-prone operating point, together
+// with each mechanism's false-positive rate and control-message overhead:
+//
+//	compare -detlat -mechs pdm,ndm,cmh -k 4 -n 2 -th 16 -measure 20000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wormnet"
 	"wormnet/internal/exp"
@@ -66,7 +74,8 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "checkpoint journal path prefix (run mode)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint journals (run mode)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output (run mode)")
-		detlat     = flag.Bool("detlat", false, "measure NDM-vs-PDM detection-latency histograms at one deadlock-prone operating point")
+		detlat     = flag.Bool("detlat", false, "measure per-mechanism detection-latency histograms at one deadlock-prone operating point")
+		dlMechs    = flag.String("mechs", "pdm,ndm", "comma-separated detection mechanisms to compare (detlat mode): ndm|pdm|cmh|src-age|src-stall|hdr-block")
 		dlLoad     = flag.Float64("load", 2.0, "offered load in flits/cycle/node (detlat mode)")
 		dlVCs      = flag.Int("vcs", 1, "virtual channels per physical channel (detlat mode)")
 		dlTh       = flag.Int64("th", 16, "detection threshold in cycles (detlat mode)")
@@ -91,8 +100,13 @@ func main() {
 		case *replicates < 1:
 			fail("-replicates must be >= 1, got %d", *replicates)
 		}
+		mechs, err := parseMechs(*dlMechs)
+		if err != nil {
+			fail("%v", err)
+		}
 		runDetLat(detLatParams{
 			k: *k, n: *n, vcs: *dlVCs, load: *dlLoad, th: *dlTh,
+			mechs:  mechs,
 			warmup: *warmup, measure: *measure, seed: *seed,
 			workers: *workers, replicates: *replicates, quiet: *quiet,
 			obs: obs,
@@ -100,7 +114,23 @@ func main() {
 		return
 	}
 
-	// Flags that only make sense in run mode must not be silently ignored.
+	// Flags that only make sense in another mode must not be silently
+	// ignored: -detlat-only flags are rejected in run mode, and both sets
+	// are rejected in file mode.
+	detlatOnly := map[string]bool{
+		"load": true, "vcs": true, "th": true, "mechs": true,
+	}
+	if *run {
+		var misused []string
+		flag.Visit(func(f *flag.Flag) {
+			if detlatOnly[f.Name] {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			fail("%v only apply with -detlat", misused)
+		}
+	}
 	if !*run {
 		runOnly := map[string]bool{
 			"pdm-table": true, "ndm-table": true, "k": true, "n": true,
@@ -108,16 +138,15 @@ func main() {
 			"workers": true, "replicates": true, "checkpoint": true,
 			"resume": true, "quiet": true, "trace-dir": true, "trace-last": true,
 			"series-dir": true, "series-window": true,
-			"load": true, "vcs": true, "th": true,
 		}
 		var misused []string
 		flag.Visit(func(f *flag.Flag) {
-			if runOnly[f.Name] {
+			if runOnly[f.Name] || detlatOnly[f.Name] {
 				misused = append(misused, "-"+f.Name)
 			}
 		})
 		if len(misused) > 0 {
-			fail("%v only apply with -run (file mode just loads two JSON tables)", misused)
+			fail("%v only apply with -run or -detlat (file mode just loads two JSON tables)", misused)
 		}
 		if len(flag.Args()) != 2 {
 			fmt.Fprintln(os.Stderr, "usage: compare <pdm.json> <ndm.json>")
@@ -215,10 +244,48 @@ func measureTable(id int, suffix string, k, n int, warmup, measure int64, seed u
 	return res
 }
 
+// detLatMechs lists the mechanisms -detlat accepts. NoDetection is excluded:
+// with no detector there is no mark to measure a latency to.
+var detLatMechs = []wormnet.Mechanism{
+	wormnet.NDM, wormnet.PDM, wormnet.CMH,
+	wormnet.SourceAge, wormnet.SourceStall, wormnet.HeaderBlock,
+}
+
+// parseMechs validates a comma-separated mechanism list: every name must be
+// known, and duplicates are rejected because the mechanism doubles as the
+// harness point key.
+func parseMechs(s string) ([]wormnet.Mechanism, error) {
+	known := make(map[wormnet.Mechanism]bool, len(detLatMechs))
+	names := make([]string, len(detLatMechs))
+	for i, m := range detLatMechs {
+		known[m] = true
+		names[i] = string(m)
+	}
+	var mechs []wormnet.Mechanism
+	seen := map[wormnet.Mechanism]bool{}
+	for _, part := range strings.Split(s, ",") {
+		m := wormnet.Mechanism(strings.TrimSpace(part))
+		if m == "" {
+			return nil, fmt.Errorf("empty mechanism in -mechs %q", s)
+		}
+		if !known[m] {
+			return nil, fmt.Errorf("unknown mechanism %q in -mechs (available: %s)",
+				m, strings.Join(names, ", "))
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("duplicate mechanism %q in -mechs", m)
+		}
+		seen[m] = true
+		mechs = append(mechs, m)
+	}
+	return mechs, nil
+}
+
 type detLatParams struct {
 	k, n, vcs           int
 	load                float64
 	th                  int64
+	mechs               []wormnet.Mechanism
 	warmup, measure     int64
 	seed                uint64
 	workers, replicates int
@@ -228,12 +295,14 @@ type detLatParams struct {
 
 // runDetLat measures the detection-latency distribution — cycles from the
 // omniscient oracle first seeing a message deadlocked (OracleEvery=1) until
-// the mechanism marks it — for NDM and PDM at one deadlock-prone operating
-// point, and prints both histograms.
+// the mechanism marks it — for each requested mechanism at one
+// deadlock-prone operating point, and prints the histograms plus each
+// mechanism's accuracy (false-positive rate) and control-message overhead
+// (probe flits, and the share of aggregate link bandwidth they consumed —
+// zero for the router-local mechanisms).
 func runDetLat(p detLatParams) {
-	mechs := []wormnet.Mechanism{wormnet.PDM, wormnet.NDM}
 	var pts []harness.Point
-	for _, mech := range mechs {
+	for _, mech := range p.mechs {
 		cfg := wormnet.DefaultConfig()
 		cfg.K, cfg.N = p.k, p.n
 		cfg.VirtualChannels = p.vcs
@@ -272,8 +341,8 @@ func runDetLat(p detLatParams) {
 	fmt.Printf("# %d measured cycles after %d warm-up, %d replicate(s), base seed %d\n",
 		p.measure, p.warmup, p.replicates, p.seed)
 	fmt.Println()
-	fmt.Printf("%-5s %9s %9s %7s %7s %7s %7s %9s %9s\n",
-		"mech", "samples", "mean", "p50", "p90", "p99", "max", "true", "false")
+	fmt.Printf("%-9s %9s %9s %7s %7s %7s %7s %9s %9s %7s %12s %9s\n",
+		"mech", "samples", "mean", "p50", "p90", "p99", "max", "true", "false", "fp%", "probe-flits", "probe-bw%")
 	hists := make([]*stats.Histogram, len(pts))
 	for i, pr := range res {
 		if !pr.OK() {
@@ -281,15 +350,25 @@ func runDetLat(p detLatParams) {
 		}
 		h := pr.MergedDetectLatency()
 		hists[i] = h
-		var trueMarks, falseMarks int64
+		var trueMarks, falseMarks, probeFlits, linkCycles int64
 		for _, r := range pr.Completed() {
 			trueMarks += r.TrueMarked
 			falseMarks += r.FalseMarked
+			probeFlits += r.ProbeFlits
+			linkCycles += r.Cycles * int64(r.NetLinks)
 		}
-		fmt.Printf("%-5s %9d %9.1f %7d %7d %7d %7d %9d %9d\n",
+		fpPct := 0.0
+		if trueMarks+falseMarks > 0 {
+			fpPct = 100 * float64(falseMarks) / float64(trueMarks+falseMarks)
+		}
+		bwPct := 0.0
+		if linkCycles > 0 {
+			bwPct = 100 * float64(probeFlits) / float64(linkCycles)
+		}
+		fmt.Printf("%-9s %9d %9.1f %7d %7d %7d %7d %9d %9d %7.2f %12d %9.4f\n",
 			pr.Key, h.Count(), h.Mean(),
 			h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max(),
-			trueMarks, falseMarks)
+			trueMarks, falseMarks, fpPct, probeFlits, bwPct)
 	}
 	for i, pr := range res {
 		if hists[i].Count() == 0 {

@@ -71,6 +71,7 @@ var fields = []field{
 	{"gFlags", "input channels holding G", false, gauge(func(s *metrics.Sample) int32 { return s.GFlags })},
 	{"recoveryDepth", "messages undergoing recovery", false, gauge(func(s *metrics.Sample) int32 { return s.RecoveryDepth })},
 	{"oracleSet", "oracle deadlocked-set size", false, gauge(func(s *metrics.Sample) int32 { return s.OracleSet })},
+	{"probesInFlight", "cmh probes in flight", false, gauge(func(s *metrics.Sample) int32 { return s.ProbesInFlight })},
 }
 
 func fieldByName(name string) *field {

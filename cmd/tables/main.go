@@ -28,12 +28,12 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "table to reproduce (1-7); 0 = all")
-		k        = flag.Int("k", 8, "radix of the k-ary n-cube")
-		n        = flag.Int("n", 3, "dimensions of the k-ary n-cube")
-		warmup   = flag.Int64("warmup", 5000, "warm-up cycles per cell")
-		measure  = flag.Int64("measure", 30000, "measured cycles per cell")
-		seed     = flag.Uint64("seed", 1, "random seed")
+		table      = flag.Int("table", 0, "table to reproduce (1-8); 0 = all")
+		k          = flag.Int("k", 8, "radix of the k-ary n-cube")
+		n          = flag.Int("n", 3, "dimensions of the k-ary n-cube")
+		warmup     = flag.Int64("warmup", 5000, "warm-up cycles per cell")
+		measure    = flag.Int64("measure", 30000, "measured cycles per cell")
+		seed       = flag.Uint64("seed", 1, "random seed")
 		relative   = flag.Bool("relative", false, "rescale the paper's rates to this network's measured saturation throughput")
 		sel        = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
 		workers    = flag.Int("workers", 0, "concurrent cell simulations (0 = GOMAXPROCS); results are identical for any value")

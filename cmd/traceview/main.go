@@ -17,6 +17,13 @@
 //
 //	traceview -msg 17 events.jsonl
 //
+// Both views accept -kind, a comma-separated list of event-kind names
+// (as printed in the summary, e.g. probe-emit,probe-return), restricting
+// the output to just those kinds. Unknown names are rejected with the
+// list of legal values.
+//
+//	traceview -kind detect,probe-return events.jsonl
+//
 // Traces are streamed a line at a time, never loaded whole, so traces far
 // larger than memory are fine. The timeline view makes multiple passes over
 // its input; stdin is spooled to a temporary file to allow that.
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"wormnet/internal/router"
 	"wormnet/internal/trace"
@@ -41,9 +49,15 @@ func main() {
 	var (
 		msg     = flag.Int("msg", -1, "render a per-cycle timeline of this message id (-1 = first detected, else first injected)")
 		summary = flag.Bool("summary", false, "print only the per-kind summary (the default when -msg is not set)")
+		kinds   = flag.String("kind", "", "comma-separated event kinds to keep (e.g. detect,probe-return); empty keeps all")
 	)
 	flag.Parse()
 	timeline := !*summary || *msg >= 0
+
+	keep, err := parseKinds(*kinds)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	var f *os.File
 	name := "<stdin>"
@@ -77,11 +91,14 @@ func main() {
 		fail("at most one trace file (or stdin)")
 	}
 
-	sum, err := scanSummary(f)
+	sum, err := scanSummary(f, keep)
 	if err != nil {
 		fail("%s: %v", name, err)
 	}
 	if sum.total == 0 {
+		if keep != nil {
+			fail("%s: no events of the requested kind(s)", name)
+		}
 		fail("%s: empty trace", name)
 	}
 	sum.print(name)
@@ -97,9 +114,31 @@ func main() {
 		}
 	}
 	fmt.Println()
-	if err := printTimeline(f, id); err != nil {
+	if err := printTimeline(f, id, keep); err != nil {
 		fail("%s: %v", name, err)
 	}
+}
+
+// parseKinds turns the -kind argument into a filter set. A nil map means
+// no filtering. Unknown names are an error naming the legal values.
+func parseKinds(s string) (map[trace.Kind]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	keep := make(map[trace.Kind]bool)
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			return nil, fmt.Errorf("empty kind name in -kind %q", s)
+		}
+		k, ok := trace.KindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown event kind %q (available: %s)",
+				name, strings.Join(trace.KindNames(), ", "))
+		}
+		keep[k] = true
+	}
+	return keep, nil
 }
 
 // rewind seeks back to the start of the trace for another streaming pass.
@@ -120,9 +159,13 @@ type summaryStats struct {
 
 // scanSummary makes one streaming pass collecting per-kind counts, the cycle
 // span, detection verdicts, and the default message for the timeline view.
-func scanSummary(rd io.Reader) (*summaryStats, error) {
+// A non-nil keep set restricts the summary to just those kinds.
+func scanSummary(rd io.Reader, keep map[trace.Kind]bool) (*summaryStats, error) {
 	s := &summaryStats{firstDetected: router.NilMsg, firstMsg: router.NilMsg}
 	err := trace.Scan(rd, func(ev trace.Event) error {
+		if keep != nil && !keep[ev.Kind] {
+			return nil
+		}
 		if s.total == 0 {
 			s.first, s.last = ev.Cycle, ev.Cycle
 		}
@@ -181,8 +224,10 @@ func (s *summaryStats) pickMessage() router.MsgID {
 // printTimeline renders every event involving message id, plus the flag
 // activity of the channels the message touched, cycle by cycle. Two more
 // streaming passes: one to learn which channels the message used, one to
-// print.
-func printTimeline(f *os.File, id router.MsgID) error {
+// print. A non-nil keep set restricts the printed events to those kinds
+// (the channel-discovery pass still sees everything, so filtering never
+// changes which channels count as the message's own).
+func printTimeline(f *os.File, id router.MsgID, keep map[trace.Kind]bool) error {
 	// Channels the message touched (as input or requested output), so flag
 	// events on them are part of its story.
 	links := map[router.LinkID]bool{}
@@ -218,6 +263,9 @@ func printTimeline(f *os.File, id router.MsgID) error {
 		return err
 	}
 	err = trace.Scan(f, func(ev trace.Event) error {
+		if keep != nil && !keep[ev.Kind] {
+			return nil
+		}
 		own := ev.Msg == id
 		onLink := ev.Link != router.NilLink && links[ev.Link]
 		// Flag events carry no message; show them when they touch one of
@@ -250,7 +298,9 @@ func printTimeline(f *os.File, id router.MsgID) error {
 func interesting(k trace.Kind) bool {
 	switch k {
 	case trace.KindISet, trace.KindIClear, trace.KindDTSet, trace.KindDTClear,
-		trace.KindGSet, trace.KindPSet, trace.KindVCFree:
+		trace.KindGSet, trace.KindPSet, trace.KindVCFree,
+		trace.KindProbeEmit, trace.KindProbeForward, trace.KindProbeDrop,
+		trace.KindProbeReturn:
 		return true
 	}
 	return false
@@ -316,6 +366,25 @@ func describe(ev trace.Event) string {
 		return fmt.Sprintf("%s msg=%d node=%d %s", s, ev.Msg, ev.Node, how)
 	case trace.KindOracleDeadlock:
 		return fmt.Sprintf("%s msg=%d set-size=%d", s, ev.Msg, ev.Arg)
+	case trace.KindProbeEmit:
+		return fmt.Sprintf("%s initiator=%d node=%d out-link=%d hops=%d chasing msg=%d", s, ev.Msg, ev.Node, ev.Link, ev.Arg, ev.Aux)
+	case trace.KindProbeForward:
+		return fmt.Sprintf("%s initiator=%d node=%d out-link=%d hops=%d chasing msg=%d", s, ev.Msg, ev.Node, ev.Link, ev.Arg, ev.Aux)
+	case trace.KindProbeDrop:
+		reason := "?"
+		switch ev.Arg {
+		case trace.ProbeDropStale:
+			reason = "stale"
+		case trace.ProbeDropRoutable:
+			reason = "routable-header"
+		case trace.ProbeDropHops:
+			reason = "hop-cap"
+		case trace.ProbeDropDeadEnd:
+			reason = "dead-end"
+		}
+		return fmt.Sprintf("%s initiator=%d link=%d reason=%s chasing msg=%d", s, ev.Msg, ev.Link, reason, ev.Aux)
+	case trace.KindProbeReturn:
+		return fmt.Sprintf("%s initiator=%d node=%d link=%d hops=%d victim=%d", s, ev.Msg, ev.Node, ev.Link, ev.Arg, ev.Aux)
 	}
 	return fmt.Sprintf("%s msg=%d link=%d node=%d arg=%d aux=%d", s, ev.Msg, ev.Link, ev.Node, ev.Arg, ev.Aux)
 }

@@ -19,25 +19,28 @@ import (
 func main() {
 	cfg := wormnet.DefaultConfig()
 	var (
-		k        = flag.Int("k", cfg.K, "radix of the k-ary n-cube")
-		n        = flag.Int("n", cfg.N, "dimensions of the k-ary n-cube")
-		vcs      = flag.Int("vcs", cfg.VirtualChannels, "virtual channels per physical channel")
-		buf      = flag.Int("buf", cfg.BufferFlits, "flit buffer depth per virtual channel")
-		ports    = flag.Int("ports", cfg.Ports, "injection/delivery ports per node")
-		pattern  = flag.String("pattern", string(cfg.Pattern), "traffic pattern: uniform|locality|bit-reversal|perfect-shuffle|butterfly|hot-spot")
-		radius   = flag.Int("locality-radius", cfg.LocalityRadius, "radius of the locality pattern")
-		hotFrac  = flag.Float64("hot-fraction", cfg.HotFraction, "fraction of traffic to the hot node")
-		length   = flag.Int("len", 16, "fixed message length in flits (0 selects the bimodal sl mix)")
-		load     = flag.Float64("load", cfg.Load, "offered load in flits/cycle/node")
-		mech     = flag.String("mech", string(cfg.Mechanism), "detection mechanism: ndm|pdm|src-age|src-stall|hdr-block|none")
-		th       = flag.Int64("th", cfg.Threshold, "detection threshold in cycles (t2 for ndm)")
-		t1       = flag.Int64("t1", cfg.T1, "ndm short threshold t1")
-		sel      = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
-		rec      = flag.String("recovery", string(cfg.Recovery), "recovery style: progressive|regressive")
-		injLimit = flag.Int("inject-limit", cfg.InjectionLimit, "injection limitation threshold (busy output VCs); negative disables")
-		warmup   = flag.Int64("warmup", cfg.Warmup, "warm-up cycles")
-		measure  = flag.Int64("measure", cfg.Measure, "measured cycles")
-		seed     = flag.Uint64("seed", cfg.Seed, "random seed")
+		k         = flag.Int("k", cfg.K, "radix of the k-ary n-cube")
+		n         = flag.Int("n", cfg.N, "dimensions of the k-ary n-cube")
+		vcs       = flag.Int("vcs", cfg.VirtualChannels, "virtual channels per physical channel")
+		buf       = flag.Int("buf", cfg.BufferFlits, "flit buffer depth per virtual channel")
+		ports     = flag.Int("ports", cfg.Ports, "injection/delivery ports per node")
+		pattern   = flag.String("pattern", string(cfg.Pattern), "traffic pattern: uniform|locality|bit-reversal|perfect-shuffle|butterfly|hot-spot")
+		radius    = flag.Int("locality-radius", cfg.LocalityRadius, "radius of the locality pattern")
+		hotFrac   = flag.Float64("hot-fraction", cfg.HotFraction, "fraction of traffic to the hot node")
+		length    = flag.Int("len", 16, "fixed message length in flits (0 selects the bimodal sl mix)")
+		load      = flag.Float64("load", cfg.Load, "offered load in flits/cycle/node")
+		mech      = flag.String("mech", string(cfg.Mechanism), "detection mechanism: ndm|pdm|cmh|src-age|src-stall|hdr-block|none")
+		th        = flag.Int64("th", cfg.Threshold, "detection threshold in cycles (t2 for ndm, probe initiation delay for cmh)")
+		t1        = flag.Int64("t1", cfg.T1, "ndm short threshold t1")
+		sel       = flag.Bool("selective", false, "use the selective P->G promotion variant of ndm")
+		probeTr   = flag.String("probe-transport", "", "cmh probe transport: steal-idle|ctrl-vc (default steal-idle)")
+		probeVic  = flag.String("probe-victim", "", "cmh victim selection: local|oldest (default local)")
+		probeHop  = flag.Int("probe-hops", 0, "cmh probe hop cap (0 = default 64)")
+		rec       = flag.String("recovery", string(cfg.Recovery), "recovery style: progressive|regressive")
+		injLimit  = flag.Int("inject-limit", cfg.InjectionLimit, "injection limitation threshold (busy output VCs); negative disables")
+		warmup    = flag.Int64("warmup", cfg.Warmup, "warm-up cycles")
+		measure   = flag.Int64("measure", cfg.Measure, "measured cycles")
+		seed      = flag.Uint64("seed", cfg.Seed, "random seed")
 		oracle    = flag.Int64("oracle-every", 0, "run the global deadlock oracle every N cycles (0 = only at detections)")
 		observe   = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
 		tracePath = flag.String("trace", "", "write flight-recorder events to this JSONL file")
@@ -64,6 +67,9 @@ func main() {
 	cfg.Threshold = *th
 	cfg.T1 = *t1
 	cfg.SelectivePromotion = *sel
+	cfg.ProbeTransport = wormnet.ProbeTransport(*probeTr)
+	cfg.ProbeVictim = wormnet.ProbeVictim(*probeVic)
+	cfg.ProbeMaxHops = *probeHop
 	cfg.Recovery = wormnet.Recovery(*rec)
 	cfg.InjectionLimit = *injLimit
 	cfg.Warmup, cfg.Measure = *warmup, *measure
@@ -136,6 +142,12 @@ func main() {
 	}
 	if res.DTFlagCycleSum > 0 {
 		fmt.Printf("dt occupancy:   %.3f channels with DT set per measured cycle\n", res.AvgDTFlags())
+	}
+	if res.ProbesEmitted > 0 || res.ProbeFlits > 0 {
+		fmt.Printf("probes:         %d emitted, %d forwarded, %d returned, %d dropped\n",
+			res.ProbesEmitted, res.ProbesForwarded, res.ProbesReturned, res.ProbesDropped)
+		fmt.Printf("probe traffic:  %d control flits (%.4f%% of link capacity)\n",
+			res.ProbeFlits, res.ProbeBandwidthPct())
 	}
 	if res.OracleRuns > 0 {
 		fmt.Printf("oracle:         %d runs, %d saw deadlock (max set %d)\n",

@@ -90,6 +90,38 @@ type FlagObserver interface {
 	FlagCounts() (iFlags, dtFlags, gFlags int)
 }
 
+// ProbeTotals is a snapshot of the cumulative control-message activity of a
+// probe-based (edge-chasing) detector. All counters are monotonic totals
+// since construction; the engine differences successive snapshots to charge
+// per-cycle metrics and the measured window.
+type ProbeTotals struct {
+	// Emitted counts probes launched by blocked initiators.
+	Emitted int64
+	// Forwarded counts probe forwardings at blocked headers (each spawned
+	// continuation counts once).
+	Forwarded int64
+	// Dropped counts probes that terminated without returning.
+	Dropped int64
+	// Returned counts probes that arrived back at a channel held by their
+	// own initiator, proving a cycle.
+	Returned int64
+	// Flits counts control flits charged to physical links: one per
+	// link traversal a probe performed (emission, forwarding, and movement
+	// along a worm's body all cross exactly one link each).
+	Flits int64
+	// InFlight is the number of probes currently traversing the fabric
+	// (a gauge, not a total).
+	InFlight int
+}
+
+// ProbeObserver is implemented by detectors that transport probe control
+// messages through the fabric (the CMH edge-chasing family). The engine
+// samples the totals once per cycle, after EndCycle, to populate the probe
+// metric families and the probe-bandwidth counters.
+type ProbeObserver interface {
+	ProbeTotals() ProbeTotals
+}
+
 // None is a Detector that never marks anything. It is used to measure raw
 // network behavior (including unrecovered deadlocks) and as a baseline in
 // tests.

@@ -1,7 +1,9 @@
 // Package exp is the experiment harness that regenerates the paper's
-// evaluation, Tables 1 through 7: the percentage of messages detected as
-// possibly deadlocked, for each detection mechanism, message destination
-// distribution, message length mix, network load and detection threshold.
+// evaluation, Tables 1 through 7 (plus the extension Table 8, which reruns
+// the uniform grid under the CMH edge-chasing detector): the percentage of
+// messages detected as possibly deadlocked, for each detection mechanism,
+// message destination distribution, message length mix, network load and
+// detection threshold.
 package exp
 
 import (
@@ -10,6 +12,7 @@ import (
 
 	"wormnet/internal/detect"
 	"wormnet/internal/harness"
+	"wormnet/internal/probe"
 	"wormnet/internal/router"
 	"wormnet/internal/sim"
 	"wormnet/internal/topology"
@@ -19,10 +22,12 @@ import (
 // Mechanism selects the detection mechanism a table evaluates.
 type Mechanism string
 
-// Mechanisms used by the paper's tables.
+// Mechanisms used by the paper's tables, plus the CMH edge-chasing
+// baseline evaluated in the extension table.
 const (
 	MechPDM Mechanism = "PDM"
 	MechNDM Mechanism = "NDM"
+	MechCMH Mechanism = "CMH"
 )
 
 // Size is one message-length column of a table.
@@ -43,7 +48,7 @@ var (
 
 // Table describes one of the paper's evaluation tables.
 type Table struct {
-	// ID is the paper's table number, 1..7.
+	// ID is the paper's table number, 1..7 (8 is the CMH extension).
 	ID int
 	// Mechanism under test (Table 1 uses PDM, the rest NDM).
 	Mechanism Mechanism
@@ -69,7 +74,7 @@ func thresholds(max int64) []int64 {
 }
 
 // PaperTables returns the specifications of Tables 1 through 7 exactly as
-// evaluated in the paper.
+// evaluated in the paper, plus the CMH extension Table 8.
 func PaperTables() []Table {
 	uniform := func(t *topology.Torus) traffic.Pattern { return traffic.NewUniform(t) }
 	all := []Size{SizeS, SizeL, SizeLL, SizeSL}
@@ -115,10 +120,19 @@ func PaperTables() []Table {
 			Rates:   []float64{0.0628, 0.0707, 0.0786, 0.0862},
 			Sizes:   three, Thresholds: thresholds(1024),
 		},
+		// Table 8 is not in the paper: it reruns Table 1/2's uniform-traffic
+		// grid under the Chandy–Misra–Haas edge-chasing detector, with the
+		// threshold column reinterpreted as the probe initiation delay, so
+		// the three mechanisms can be compared cell for cell.
+		{
+			ID: 8, Mechanism: MechCMH, PatternName: "uniform", Pattern: uniform,
+			Rates: []float64{0.428, 0.471, 0.514, 0.600},
+			Sizes: all, Thresholds: thresholds(1024),
+		},
 	}
 }
 
-// PaperTable returns the specification of table id (1..7).
+// PaperTable returns the specification of table id (1..8).
 func PaperTable(id int) (Table, error) {
 	for _, t := range PaperTables() {
 		if t.ID == id {
@@ -330,6 +344,10 @@ func cellConfig(tbl Table, opt Options, th int64, rate float64, size Size) (sim.
 	case MechNDM:
 		cfg.Detector = func(f *router.Fabric) detect.Detector {
 			return detect.NewNDMOpt(f, 1, th, opt.Promotion)
+		}
+	case MechCMH:
+		cfg.Detector = func(f *router.Fabric) detect.Detector {
+			return probe.New(f, probe.Config{InitDelay: th})
 		}
 	default:
 		return cfg, fmt.Errorf("exp: unknown mechanism %q", tbl.Mechanism)

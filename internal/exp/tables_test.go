@@ -8,8 +8,8 @@ import (
 
 func TestPaperTablesSpec(t *testing.T) {
 	tbls := PaperTables()
-	if len(tbls) != 7 {
-		t.Fatalf("%d tables, want 7", len(tbls))
+	if len(tbls) != 8 {
+		t.Fatalf("%d tables, want 8 (paper's 1-7 plus the CMH extension)", len(tbls))
 	}
 	for i, tbl := range tbls {
 		if tbl.ID != i+1 {
@@ -33,16 +33,24 @@ func TestPaperTablesSpec(t *testing.T) {
 	if tbls[0].Mechanism != MechPDM {
 		t.Error("table 1 must use PDM")
 	}
-	for _, tbl := range tbls[1:] {
+	for _, tbl := range tbls[1:7] {
 		if tbl.Mechanism != MechNDM {
 			t.Errorf("table %d must use NDM", tbl.ID)
 		}
 	}
-	// Tables 1 and 2 carry all four sizes; the rest three.
-	if len(tbls[0].Sizes) != 4 || len(tbls[1].Sizes) != 4 {
-		t.Error("tables 1-2 must have 4 size columns")
+	if tbls[7].Mechanism != MechCMH {
+		t.Error("table 8 must use CMH")
 	}
-	for _, tbl := range tbls[2:] {
+	// Table 8 mirrors Table 2's grid so the mechanisms compare cell for cell.
+	if tbls[7].PatternName != tbls[1].PatternName ||
+		len(tbls[7].Thresholds) != len(tbls[1].Thresholds) {
+		t.Error("table 8 must mirror table 2's uniform grid")
+	}
+	// Tables 1, 2 and 8 carry all four sizes; tables 3-7 three.
+	if len(tbls[0].Sizes) != 4 || len(tbls[1].Sizes) != 4 || len(tbls[7].Sizes) != 4 {
+		t.Error("tables 1-2 and 8 must have 4 size columns")
+	}
+	for _, tbl := range tbls[2:7] {
 		if len(tbl.Sizes) != 3 {
 			t.Errorf("table %d has %d sizes, want 3", tbl.ID, len(tbl.Sizes))
 		}
@@ -54,8 +62,11 @@ func TestPaperTableLookup(t *testing.T) {
 	if err != nil || tbl.ID != 4 {
 		t.Fatalf("PaperTable(4) = %v, %v", tbl.ID, err)
 	}
-	if _, err := PaperTable(8); err == nil {
-		t.Fatal("table 8 found")
+	if tbl, err := PaperTable(8); err != nil || tbl.Mechanism != MechCMH {
+		t.Fatalf("PaperTable(8) = %v, %v; want the CMH extension table", tbl.Mechanism, err)
+	}
+	if _, err := PaperTable(9); err == nil {
+		t.Fatal("table 9 found")
 	}
 }
 

@@ -43,6 +43,15 @@ const (
 	// detection-threshold flag was set at the end of the cycle (the live
 	// carrier of the DT-occupancy metric; divide by MCycles for the mean).
 	MDTFlagCycles
+	// MProbesEmitted..MProbesReturned count CMH probe lifecycle events by
+	// outcome; MProbeFlits counts control flits probe movement charged to
+	// physical links (the bandwidth cost of edge chasing). Zero for
+	// detectors that do not transport probes.
+	MProbesEmitted
+	MProbesForwarded
+	MProbesDropped
+	MProbesReturned
+	MProbeFlits
 
 	numMetrics
 )
@@ -51,18 +60,23 @@ const (
 var metricSpecs = [numMetrics]struct {
 	name, help, labelKey, labelVal string
 }{
-	MGenerated:      {"wormnet_messages_generated_total", "Messages created at sources.", "", ""},
-	MInjected:       {"wormnet_messages_injected_total", "Messages admitted into the network.", "", ""},
-	MDelivered:      {"wormnet_messages_delivered_total", "Messages fully consumed at their destination.", "", ""},
-	MDeliveredFlits: {"wormnet_flits_delivered_total", "Flits of delivered messages.", "", ""},
-	MMarkedTrue:     {"wormnet_marks_total", "Detector marks by oracle verdict.", "verdict", "true"},
-	MMarkedFalse:    {"wormnet_marks_total", "Detector marks by oracle verdict.", "verdict", "false"},
-	MRecovered:      {"wormnet_recoveries_total", "Messages fully removed from the fabric by recovery.", "", ""},
-	MReinjected:     {"wormnet_messages_reinjected_total", "Recovered messages re-entering a source queue.", "", ""},
-	MAbsorbedFlits:  {"wormnet_recovery_absorbed_flits_total", "Flits drained through progressive-recovery absorption.", "", ""},
-	MLinkFailures:   {"wormnet_link_failures_total", "Injected channel faults.", "", ""},
-	MCycles:         {"wormnet_cycles_total", "Simulated cycles.", "", ""},
-	MDTFlagCycles:   {"wormnet_dt_flag_cycle_sum_total", "Sum over cycles of output channels with the DT flag set.", "", ""},
+	MGenerated:       {"wormnet_messages_generated_total", "Messages created at sources.", "", ""},
+	MInjected:        {"wormnet_messages_injected_total", "Messages admitted into the network.", "", ""},
+	MDelivered:       {"wormnet_messages_delivered_total", "Messages fully consumed at their destination.", "", ""},
+	MDeliveredFlits:  {"wormnet_flits_delivered_total", "Flits of delivered messages.", "", ""},
+	MMarkedTrue:      {"wormnet_marks_total", "Detector marks by oracle verdict.", "verdict", "true"},
+	MMarkedFalse:     {"wormnet_marks_total", "Detector marks by oracle verdict.", "verdict", "false"},
+	MRecovered:       {"wormnet_recoveries_total", "Messages fully removed from the fabric by recovery.", "", ""},
+	MReinjected:      {"wormnet_messages_reinjected_total", "Recovered messages re-entering a source queue.", "", ""},
+	MAbsorbedFlits:   {"wormnet_recovery_absorbed_flits_total", "Flits drained through progressive-recovery absorption.", "", ""},
+	MLinkFailures:    {"wormnet_link_failures_total", "Injected channel faults.", "", ""},
+	MCycles:          {"wormnet_cycles_total", "Simulated cycles.", "", ""},
+	MDTFlagCycles:    {"wormnet_dt_flag_cycle_sum_total", "Sum over cycles of output channels with the DT flag set.", "", ""},
+	MProbesEmitted:   {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "emit"},
+	MProbesForwarded: {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "forward"},
+	MProbesDropped:   {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "drop"},
+	MProbesReturned:  {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "return"},
+	MProbeFlits:      {"wormnet_probe_flits_total", "Control flits charged to physical links by probe movement.", "", ""},
 }
 
 // Sample is one time-series point: the network's state at the end of a
@@ -83,15 +97,16 @@ type Sample struct {
 	Reinjected    int64 `json:"reinjected"`
 
 	// Instantaneous gauges at the end of the window's last cycle.
-	Queued        int32 `json:"queued"`        // messages waiting in source queues
-	Blocked       int32 `json:"blocked"`       // headers with at least one failed attempt
-	BusyVCs       int32 `json:"busyVCs"`       // occupied virtual channels (all classes)
-	BusyLinks     int32 `json:"busyLinks"`     // physical channels with >= 1 busy VC
-	IFlags        int32 `json:"iFlags"`        // output channels with the I flag set
-	DTFlags       int32 `json:"dtFlags"`       // output channels with the DT flag set
-	GFlags        int32 `json:"gFlags"`        // input channels holding G
-	RecoveryDepth int32 `json:"recoveryDepth"` // messages undergoing recovery
-	OracleSet     int32 `json:"oracleSet"`     // latest oracle deadlocked-set size
+	Queued         int32 `json:"queued"`         // messages waiting in source queues
+	Blocked        int32 `json:"blocked"`        // headers with at least one failed attempt
+	BusyVCs        int32 `json:"busyVCs"`        // occupied virtual channels (all classes)
+	BusyLinks      int32 `json:"busyLinks"`      // physical channels with >= 1 busy VC
+	IFlags         int32 `json:"iFlags"`         // output channels with the I flag set
+	DTFlags        int32 `json:"dtFlags"`        // output channels with the DT flag set
+	GFlags         int32 `json:"gFlags"`         // input channels holding G
+	RecoveryDepth  int32 `json:"recoveryDepth"`  // messages undergoing recovery
+	OracleSet      int32 `json:"oracleSet"`      // latest oracle deadlocked-set size
+	ProbesInFlight int32 `json:"probesInFlight"` // CMH probes traversing the fabric
 
 	// Per-dimension occupancy of network physical channels. DimVCs[d] is
 	// the number of busy VCs on dimension-d network channels; DimLinks[d]
@@ -144,16 +159,17 @@ type Collector struct {
 	counts [numMetrics]*Counter
 
 	// Registry views of the latest sample's gauges.
-	gQueued, gBlocked, gBusyVCs, gBusyLinks   *Gauge
-	gIFlags, gDTFlags, gGFlags                *Gauge
-	gRecoveryDepth, gOracleSet                *Gauge
-	dimVCs, dimLinks                          []*Gauge
-	classVCs                                  [3]*Gauge // net, inj, del busy VCs
+	gQueued, gBlocked, gBusyVCs, gBusyLinks *Gauge
+	gIFlags, gDTFlags, gGFlags              *Gauge
+	gRecoveryDepth, gOracleSet              *Gauge
+	gProbesInFlight                         *Gauge
+	dimVCs, dimLinks                        []*Gauge
+	classVCs                                [3]*Gauge // net, inj, del busy VCs
 
 	// Latency histograms (cycles), observed over the whole run.
-	latency   *Histogram // generation -> delivery
-	detDelay  *Histogram // first failed attempt -> mark
-	detLat    *Histogram // oracle-first-deadlock -> mark
+	latency  *Histogram // generation -> delivery
+	detDelay *Histogram // first failed attempt -> mark
+	detLat   *Histogram // oracle-first-deadlock -> mark
 
 	// Sampler state. nextSample is touched only by the engine goroutine;
 	// the ring and scratch are guarded by mu against concurrent scrapes.
@@ -195,6 +211,7 @@ func NewCollector(opt Options) *Collector {
 	c.gGFlags = c.reg.LabeledGauge("wormnet_flag_occupancy", "Detection flags currently set, by flag.", "flag", "g")
 	c.gRecoveryDepth = c.reg.Gauge("wormnet_recovery_depth", "Messages currently undergoing recovery.")
 	c.gOracleSet = c.reg.Gauge("wormnet_oracle_deadlocked", "Latest oracle deadlocked-set size.")
+	c.gProbesInFlight = c.reg.Gauge("wormnet_probes_in_flight", "CMH probes currently traversing the fabric.")
 	c.latency = c.reg.Histogram("wormnet_latency_cycles",
 		"Generation-to-delivery latency of delivered messages.", ExpBounds(1<<14))
 	c.detDelay = c.reg.Histogram("wormnet_detect_delay_cycles",
@@ -339,6 +356,7 @@ func (c *Collector) takeSample(now int64, p Prober) {
 	s.Queued, s.Blocked, s.BusyVCs, s.BusyLinks = 0, 0, 0, 0
 	s.IFlags, s.DTFlags, s.GFlags = 0, 0, 0
 	s.RecoveryDepth, s.OracleSet = 0, 0
+	s.ProbesInFlight = 0
 	s.DimVCs = s.DimVCs[:c.dims]
 	s.DimLinks = s.DimLinks[:c.dims]
 	for i := range s.DimVCs {
@@ -358,6 +376,7 @@ func (c *Collector) takeSample(now int64, p Prober) {
 	c.gGFlags.Set(int64(s.GFlags))
 	c.gRecoveryDepth.Set(int64(s.RecoveryDepth))
 	c.gOracleSet.Set(int64(s.OracleSet))
+	c.gProbesInFlight.Set(int64(s.ProbesInFlight))
 	for d := 0; d < c.dims && d < len(c.dimVCs); d++ {
 		c.dimVCs[d].Set(int64(s.DimVCs[d]))
 		c.dimLinks[d].Set(int64(s.DimLinks[d]))
@@ -426,15 +445,17 @@ var seriesFields = []string{
 	"markedTrue", "markedFalse", "recovered", "reinjected",
 	"queued", "blocked", "busyVCs", "busyLinks",
 	"iFlags", "dtFlags", "gFlags", "recoveryDepth", "oracleSet",
+	"probesInFlight",
 }
 
-func (s *Sample) fixedValues() [18]int64 {
-	return [18]int64{
+func (s *Sample) fixedValues() [19]int64 {
+	return [19]int64{
 		s.Cycle, s.Generated, s.Injected, s.Delivered, s.DeliveredFlit,
 		s.MarkedTrue, s.MarkedFalse, s.Recovered, s.Reinjected,
 		int64(s.Queued), int64(s.Blocked), int64(s.BusyVCs), int64(s.BusyLinks),
 		int64(s.IFlags), int64(s.DTFlags), int64(s.GFlags),
 		int64(s.RecoveryDepth), int64(s.OracleSet),
+		int64(s.ProbesInFlight),
 	}
 }
 
@@ -523,12 +544,12 @@ func DecodeSeries(r io.Reader) ([]Sample, error) {
 // Status is the JSON document served at /status: run identity, cumulative
 // counters, and the most recent sample.
 type Status struct {
-	Detector string  `json:"detector"`
-	Window   int64   `json:"windowCycles"`
-	Cycles   int64   `json:"cycles"`
-	Samples  int     `json:"samples"`
+	Detector string           `json:"detector"`
+	Window   int64            `json:"windowCycles"`
+	Cycles   int64            `json:"cycles"`
+	Samples  int              `json:"samples"`
 	Counters map[string]int64 `json:"counters"`
-	Last     *Sample `json:"last,omitempty"`
+	Last     *Sample          `json:"last,omitempty"`
 }
 
 // Snapshot assembles a Status document. Nil-safe; returns a zero Status on

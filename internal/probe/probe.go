@@ -1,0 +1,566 @@
+// Package probe implements a Chandy–Misra–Haas edge-chasing deadlock
+// detector for the wormhole fabric, the classic distributed alternative to
+// the paper's router-local NDM/PDM mechanisms.
+//
+// When a header stays blocked past an initiation delay, its router launches
+// probe control messages along the wait-for graph: a probe carries
+// (initiator message ID, hop count, 64-bit rolling path digest) and chases
+// the worm occupying a requested virtual channel, walking that worm's body
+// link by link toward its header. At a blocked header the probe fans out
+// onto every dependency edge not yet covered this wave (per-initiator digest
+// dedupe bounds the storm, together with a MaxHops cap); a probe that
+// reaches a channel held by its own initiator has traversed a cycle of the
+// wait-for graph, and the initiator — or the oldest message seen on the
+// path, under VictimOldest — is marked deadlocked and handed to recovery.
+//
+// Unlike NDM and PDM, probes are not free: every link traversal charges one
+// control flit on the physical link it crosses. The transport is
+// configurable: TransportControlVC models a dedicated control virtual
+// channel (probes move regardless of data traffic, at most one per link per
+// cycle), while TransportStealIdle only moves probes across links that
+// carried no data flit this cycle. Probe returns are a router-local
+// observation (the probe is already at the router holding the initiator's
+// channel) and consume no flit.
+package probe
+
+import (
+	"fmt"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/router"
+	"wormnet/internal/trace"
+)
+
+// Transport selects how probe flits share the physical links with data.
+type Transport uint8
+
+const (
+	// TransportStealIdle sends probe flits only across links that carried
+	// no data flit this cycle. Free of data-plane interference, but probes
+	// stall under heavy load — except near deadlock, where links idle.
+	TransportStealIdle Transport = iota
+	// TransportControlVC models a dedicated control virtual channel: one
+	// probe flit may cross each link per cycle regardless of data traffic.
+	TransportControlVC
+)
+
+func (t Transport) String() string {
+	if t == TransportControlVC {
+		return "ctrl-vc"
+	}
+	return "steal-idle"
+}
+
+// Victim selects which message a returning probe marks for recovery.
+type Victim uint8
+
+const (
+	// VictimLocal marks the probe's initiator — the message whose router
+	// observes the cycle. Simple and always router-local.
+	VictimLocal Victim = iota
+	// VictimOldest marks the oldest (earliest generation time) message the
+	// probe visited, the age-based selection of classic CMH variants; it
+	// biases recovery toward the message most likely to stall others.
+	VictimOldest
+)
+
+func (v Victim) String() string {
+	if v == VictimOldest {
+		return "oldest"
+	}
+	return "local"
+}
+
+// Config parameterizes the detector.
+type Config struct {
+	// InitDelay is the number of cycles a header must stay blocked before
+	// its router starts probing (the analog of NDM/PDM thresholds).
+	// Defaults to 8.
+	InitDelay int64
+	// ReprobeEvery re-opens the digest-dedupe window this many cycles after
+	// a wave started, so still-blocked initiators re-probe a wait graph
+	// that may have changed shape. Defaults to 4*InitDelay.
+	ReprobeEvery int64
+	// MaxHops caps a probe's link traversals; probes past the cap are
+	// dropped. Bounds worst-case storm length. Defaults to 64.
+	MaxHops int32
+	// Transport selects the probe flit transport model.
+	Transport Transport
+	// Victim selects the victim a returning probe marks.
+	Victim Victim
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitDelay <= 0 {
+		c.InitDelay = 8
+	}
+	if c.ReprobeEvery <= 0 {
+		c.ReprobeEvery = 4 * c.InitDelay
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 64
+	}
+	return c
+}
+
+// pr is one in-flight probe. It sits on virtual channel at, which belongs to
+// the worm target it is chasing; each cycle it advances one link along
+// target's body toward the header (charging a control flit), and at the
+// header it fans out onto the worms blocking target.
+type pr struct {
+	initiator router.MsgID // message whose router launched the chase
+	target    router.MsgID // worm currently being chased
+	at        router.VCID  // VC of target the probe currently sits on
+	hops      int32        // link traversals so far
+	digest    uint64       // rolling FNV-1a digest of the chase path (probe payload)
+	victim    router.MsgID // oldest message seen on the path (VictimOldest)
+	victimGen int64        // generation time of victim
+}
+
+// initiatorState is the per-message dedupe window. seen holds the keys of
+// the wait edges already chased (or self-returned) in the current wave.
+type initiatorState struct {
+	waveStart int64
+	seen      map[uint64]struct{}
+}
+
+// Detector is the CMH edge-chasing detector. It satisfies detect.Detector,
+// detect.Traceable and detect.ProbeObserver.
+type Detector struct {
+	fab *router.Fabric
+	cfg Config
+	tr  *trace.Recorder
+
+	// In-flight probes, advanced once per cycle. next is the scratch buffer
+	// the survivors of each advance are compacted into; the two are swapped
+	// so steady-state advancing allocates nothing.
+	probes []pr
+	next   []pr
+
+	// Blocked messages eligible to initiate probing, as a dense list with a
+	// per-ID index for O(1) removal (swap-remove). blockedIdx[id] == -1
+	// means absent.
+	blocked    []router.MsgID
+	blockedIdx []int32
+
+	inits       []initiatorState
+	pendingMark []bool // probe returned for this victim; mark on next RouteFailed
+
+	// linkUsedAt[l] == now when a probe flit already crossed link l this
+	// cycle: at most one probe flit per link per cycle in either transport.
+	linkUsedAt []int64
+
+	candBuf []router.LinkID
+
+	emitted   int64
+	forwarded int64
+	dropped   int64
+	returned  int64
+	relayed   int64 // probes consumed by fan-out at a header (not dropped, not returned)
+	seedRet   int64 // returns of virtual seed probes (self-cycles found at the initiator)
+	flits     int64
+}
+
+// New constructs the detector over the fabric.
+func New(f *router.Fabric, cfg Config) *Detector {
+	d := &Detector{
+		fab:        f,
+		cfg:        cfg.withDefaults(),
+		linkUsedAt: make([]int64, f.NumLinks()),
+	}
+	for i := range d.linkUsedAt {
+		d.linkUsedAt[i] = -1
+	}
+	return d
+}
+
+// Name identifies the detector and its configuration in results tables.
+func (d *Detector) Name() string {
+	return fmt.Sprintf("cmh(init=%d,hops=%d,%s,%s)",
+		d.cfg.InitDelay, d.cfg.MaxHops, d.cfg.Transport, d.cfg.Victim)
+}
+
+// SetTracer attaches the flight recorder (nil-safe).
+func (d *Detector) SetTracer(tr *trace.Recorder) { d.tr = tr }
+
+// ProbeTotals reports cumulative probe activity for the engine's metrics.
+func (d *Detector) ProbeTotals() detect.ProbeTotals {
+	return detect.ProbeTotals{
+		Emitted:   d.emitted,
+		Forwarded: d.forwarded,
+		Dropped:   d.dropped,
+		Returned:  d.returned,
+		Flits:     d.flits,
+		InFlight:  len(d.probes),
+	}
+}
+
+func (d *Detector) growMsg(id router.MsgID) {
+	n := int(id) + 1
+	for len(d.blockedIdx) < n {
+		d.blockedIdx = append(d.blockedIdx, -1)
+	}
+	for len(d.inits) < n {
+		d.inits = append(d.inits, initiatorState{waveStart: -1})
+	}
+	for len(d.pendingMark) < n {
+		d.pendingMark = append(d.pendingMark, false)
+	}
+}
+
+func (d *Detector) addBlocked(id router.MsgID) {
+	if d.blockedIdx[id] >= 0 {
+		return
+	}
+	d.blockedIdx[id] = int32(len(d.blocked))
+	d.blocked = append(d.blocked, id)
+}
+
+func (d *Detector) removeBlocked(id router.MsgID) {
+	if int(id) >= len(d.blockedIdx) {
+		return
+	}
+	i := d.blockedIdx[id]
+	if i < 0 {
+		return
+	}
+	last := d.blocked[len(d.blocked)-1]
+	d.blocked[i] = last
+	d.blockedIdx[last] = i
+	d.blocked = d.blocked[:len(d.blocked)-1]
+	d.blockedIdx[id] = -1
+}
+
+// RouteFailed records the blocked message as a probing candidate and
+// reports whether a returned probe has scheduled it for marking. Message
+// IDs are pooled by the fabric, so the first failed attempt of an
+// incarnation resets all per-ID state.
+func (d *Detector) RouteFailed(m *router.Message, in router.LinkID, outs []router.LinkID, first bool, now int64) bool {
+	d.growMsg(m.ID)
+	if first {
+		d.pendingMark[m.ID] = false
+		st := &d.inits[m.ID]
+		st.waveStart = -1
+		clear(st.seen)
+		d.addBlocked(m.ID)
+	}
+	if d.pendingMark[m.ID] {
+		d.pendingMark[m.ID] = false
+		return true
+	}
+	return false
+}
+
+// RouteSucceeded retires the message from the probing candidates.
+func (d *Detector) RouteSucceeded(m *router.Message, in router.LinkID) {
+	if int(m.ID) < len(d.blockedIdx) {
+		d.removeBlocked(m.ID)
+		d.pendingMark[m.ID] = false
+	}
+}
+
+// VCFreed is not needed: probes validate channel ownership as they move.
+func (d *Detector) VCFreed(l router.LinkID) {}
+
+// EndCycle advances every in-flight probe one step and launches new probes
+// from eligible blocked initiators. It reads fabric state but never mutates
+// it, honoring the detect.Detector contract; txLinks and transmitted are
+// engine-owned scratch, consulted only within the call.
+func (d *Detector) EndCycle(now int64, txLinks []router.LinkID, transmitted []bool) {
+	d.advance(now, transmitted)
+	d.launch(now, transmitted)
+}
+
+// channelFree reports whether a probe flit may cross link l this cycle.
+func (d *Detector) channelFree(l router.LinkID, now int64, transmitted []bool) bool {
+	if d.linkUsedAt[l] == now {
+		return false
+	}
+	if d.cfg.Transport == TransportStealIdle && int(l) < len(transmitted) && transmitted[l] {
+		return false
+	}
+	return true
+}
+
+func (d *Detector) useChannel(l router.LinkID, now int64) {
+	d.linkUsedAt[l] = now
+	d.flits++
+}
+
+// advance moves each in-flight probe at most one link along the worm it is
+// chasing, handling arrival at the header.
+func (d *Detector) advance(now int64, transmitted []bool) {
+	next := d.next[:0]
+	for _, p := range d.probes {
+		vc := &d.fab.VCs[p.at]
+		if vc.Occupant != p.target {
+			d.drop(p, trace.ProbeDropStale)
+			continue
+		}
+		m := d.fab.Msg(p.target)
+		if m.HeadVC == p.at {
+			next = d.arrive(p, m, now, transmitted, next)
+			continue
+		}
+		nxt := vc.Next
+		if nxt == router.NilVC {
+			// The chain was cut under the probe (recovery in progress).
+			d.drop(p, trace.ProbeDropStale)
+			continue
+		}
+		nl := d.fab.LinkOfVC(nxt)
+		if d.fab.LinkFailed(nl) {
+			d.drop(p, trace.ProbeDropStale)
+			continue
+		}
+		if !d.channelFree(nl, now, transmitted) {
+			next = append(next, p) // wait for the link
+			continue
+		}
+		d.useChannel(nl, now)
+		p.hops++
+		if p.hops > d.cfg.MaxHops {
+			d.drop(p, trace.ProbeDropHops)
+			continue
+		}
+		p.at = nxt
+		next = append(next, p)
+	}
+	d.probes, d.next = next, d.probes
+}
+
+// arrive handles a probe that reached the header VC of the worm it chased.
+func (d *Detector) arrive(p pr, m *router.Message, now int64, transmitted []bool, next []pr) []pr {
+	if m.Phase != router.PhaseNetwork || m.Attempts == 0 {
+		// The worm is no longer wait-blocked; the edge evaporated.
+		d.drop(p, trace.ProbeDropStale)
+		return next
+	}
+	if p.hops >= d.cfg.MaxHops {
+		d.drop(p, trace.ProbeDropHops)
+		return next
+	}
+	if d.cfg.Victim == VictimOldest && m.GenTime < p.victimGen {
+		p.victim = m.ID
+		p.victimGen = m.GenTime
+	}
+	node := d.fab.RouterOf(d.fab.LinkOfVC(p.at))
+	return d.expand(p, m, node, now, transmitted, next, false)
+}
+
+// expand fans a probe out from the blocked header of m at node onto the
+// worms holding its feasible outputs. When emit is true the probe is a
+// freshly seeded initiator probe (launch path): children go out as
+// KindProbeEmit with hops starting at 1 and the parent is virtual. When
+// emit is false the probe physically arrived here: children are
+// KindProbeForward and the parent is consumed (relayed, returned, or
+// dropped).
+func (d *Detector) expand(p pr, m *router.Message, node int, now int64, transmitted []bool, next []pr, emit bool) []pr {
+	outs := d.fab.Candidates(node, int(m.Dst), d.candBuf[:0])
+	d.candBuf = outs[:0]
+	st := &d.inits[p.initiator]
+
+	// A header with a free VC on a feasible, healthy output is not
+	// wait-blocked — it will route; chasing past it would manufacture
+	// false cycles.
+	for _, out := range outs {
+		if d.fab.LinkFailed(out) {
+			continue
+		}
+		if d.fab.FreeVC(out) != router.NilVC {
+			if !emit {
+				d.drop(p, trace.ProbeDropRoutable)
+			}
+			return next
+		}
+	}
+
+	kind := trace.KindProbeForward
+	if emit {
+		kind = trace.KindProbeEmit
+	}
+	spawned := false
+	blockedCh := false
+	for _, out := range outs {
+		if d.fab.LinkFailed(out) {
+			continue
+		}
+		lk := &d.fab.Links[out]
+		for v := lk.FirstVC; v < lk.FirstVC+router.VCID(lk.NumVC); v++ {
+			occ := d.fab.VCs[v].Occupant
+			if occ == router.NilMsg {
+				continue
+			}
+			// The initiator check must precede the own-worm skip: for a
+			// seed probe target == initiator, and a feasible output held
+			// by the initiator's own body is a self-cycle (the worm
+			// wrapped around a torus dimension and blocks itself) that
+			// the skip would otherwise swallow.
+			if occ == p.initiator {
+				if emit {
+					// Dedupe the self-edge per wave like any spawned
+					// edge, or an unmarked initiator would count a
+					// fresh return every single cycle.
+					key := edgeKey(out, occ)
+					if st.seen == nil {
+						st.seen = make(map[uint64]struct{})
+					}
+					if _, dup := st.seen[key]; dup {
+						continue
+					}
+					st.seen[key] = struct{}{}
+					d.seedRet++
+				}
+				d.ret(p, out, node, now)
+				return next
+			}
+			if occ == p.target {
+				continue
+			}
+			// Dedupe on the wait edge itself, not the path that reached
+			// it. This is CMH's classic "dependent" memory: once a wave
+			// has chased worm occ from channel out, any other probe of
+			// the same wave reaching that edge adds nothing — the chase
+			// outcome is path-independent, and every path that closes a
+			// cycle returns via the initiator check above before getting
+			// here. Path-keyed dedupe would instead let probes of
+			// initiators that merely wait ON a cycle orbit it until the
+			// hop cap (each lap is a fresh path), monopolizing the
+			// cycle's links and starving the cycle members' own seed
+			// launches — the deadlock would sit undetected behind its
+			// own probe storm.
+			key := edgeKey(out, occ)
+			if st.seen == nil {
+				st.seen = make(map[uint64]struct{})
+			}
+			if _, dup := st.seen[key]; dup {
+				continue
+			}
+			if !d.channelFree(out, now, transmitted) {
+				blockedCh = true
+				continue
+			}
+			d.useChannel(out, now)
+			st.seen[key] = struct{}{}
+			dig := roll(p.digest, out, occ)
+			child := pr{
+				initiator: p.initiator,
+				target:    occ,
+				at:        v,
+				hops:      p.hops + 1,
+				digest:    dig,
+				victim:    p.victim,
+				victimGen: p.victimGen,
+			}
+			if emit {
+				d.emitted++
+			} else {
+				d.forwarded++
+			}
+			d.tr.Emit(kind, p.initiator, out, int32(node), int64(child.hops), int32(occ))
+			next = append(next, child)
+			spawned = true
+		}
+	}
+	if emit {
+		return next
+	}
+	switch {
+	case blockedCh:
+		next = append(next, p) // retry the gated edges next cycle
+	case spawned:
+		d.relayed++
+	default:
+		d.drop(p, trace.ProbeDropDeadEnd)
+	}
+	return next
+}
+
+// ret consumes a probe that found a channel held by its own initiator: a
+// wait-for cycle. The victim is scheduled for marking on its next failed
+// routing attempt (the engine calls RouteFailed for every blocked message
+// every cycle, so the mark lands in the same cycle's route pass). The
+// return is a router-local observation and consumes no flit.
+func (d *Detector) ret(p pr, out router.LinkID, node int, now int64) {
+	victim := p.initiator
+	if d.cfg.Victim == VictimOldest {
+		victim = p.victim
+	}
+	// Message IDs are pooled; a probe whose victim slot was recycled to a
+	// different incarnation must not mark the newcomer.
+	if vm := d.fab.Msg(victim); vm == nil || vm.GenTime != p.victimGen {
+		d.drop(p, trace.ProbeDropStale)
+		return
+	}
+	d.returned++
+	d.growMsg(victim)
+	d.pendingMark[victim] = true
+	d.tr.Emit(trace.KindProbeReturn, p.initiator, out, int32(node), int64(p.hops), int32(victim))
+}
+
+func (d *Detector) drop(p pr, reason int64) {
+	d.dropped++
+	d.tr.Emit(trace.KindProbeDrop, p.initiator, d.fab.LinkOfVC(p.at), -1, reason, int32(p.target))
+}
+
+// launch seeds probes from every message blocked past InitDelay. The seed
+// probe is virtual — it sits at the initiator's own header — and fans out
+// immediately; per-wave digest dedupe makes repeated launches idempotent
+// until ReprobeEvery re-opens the window, so edges gated by busy links are
+// retried every cycle without duplicating edges already probed.
+func (d *Detector) launch(now int64, transmitted []bool) {
+	for i := 0; i < len(d.blocked); i++ {
+		id := d.blocked[i]
+		m := d.fab.Msg(id)
+		if m == nil || m.Phase != router.PhaseNetwork || m.Attempts == 0 {
+			d.removeBlocked(id)
+			i--
+			continue
+		}
+		if now-m.BlockedSince < d.cfg.InitDelay || m.HeadVC == router.NilVC {
+			continue
+		}
+		st := &d.inits[id]
+		if st.waveStart < m.BlockedSince || now-st.waveStart >= d.cfg.ReprobeEvery {
+			st.waveStart = now
+			clear(st.seen)
+		}
+		node := d.fab.RouterOf(d.fab.LinkOfVC(m.HeadVC))
+		seed := pr{
+			initiator: id,
+			target:    id,
+			at:        m.HeadVC,
+			hops:      0,
+			digest:    digestSeed(id),
+			victim:    id,
+			victimGen: m.GenTime,
+		}
+		d.probes = d.expand(seed, m, node, now, transmitted, d.probes, true)
+	}
+}
+
+// FNV-1a parameters for the rolling path digest.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func digestSeed(initiator router.MsgID) uint64 {
+	return (fnvOffset ^ uint64(initiator)) * fnvPrime
+}
+
+// roll folds one wait edge (output link, worm occupying it) into the path
+// digest a probe carries. Distinct edge sequences collide with probability
+// ~2^-64 per pair, so the digest identifies the chase path in practice.
+func roll(d uint64, out router.LinkID, occ router.MsgID) uint64 {
+	d = (d ^ uint64(out)) * fnvPrime
+	d = (d ^ uint64(occ)) * fnvPrime
+	return d
+}
+
+// edgeKey hashes one wait edge in isolation — the per-wave dedupe key.
+// Unlike the rolling path digest it is path-independent, so a wave chases
+// each edge at most once no matter how many routes lead to it.
+func edgeKey(out router.LinkID, occ router.MsgID) uint64 {
+	return roll(fnvOffset, out, occ)
+}

@@ -1,0 +1,416 @@
+package probe
+
+import (
+	"testing"
+
+	"wormnet/internal/router"
+	"wormnet/internal/topology"
+)
+
+// ringFixture is a 3-ary 1-cube (a 3-node ring) with one VC per link, the
+// smallest fabric that supports a genuine wait-for cycle:
+//
+//	A holds L01, header at node 1, wants L12 (held by B)
+//	B holds L12, header at node 2, wants L20 (held by C)
+//	C holds L20, header at node 0, wants L01 (held by A)
+type ringFixture struct {
+	fab     *router.Fabric
+	a, b, c *router.Message
+	l01     router.LinkID // node 0 -> node 1
+	l12     router.LinkID
+	l20     router.LinkID
+}
+
+// netLink finds the network channel src -> dst.
+func netLink(t *testing.T, f *router.Fabric, src, dst int) router.LinkID {
+	t.Helper()
+	for l := 0; l < f.NumNetLinks(); l++ {
+		lk := &f.Links[l]
+		if int(lk.Src) == src && int(lk.Dst) == dst {
+			return router.LinkID(l)
+		}
+	}
+	t.Fatalf("no network link %d -> %d", src, dst)
+	return router.NilLink
+}
+
+// blockWorm parks a single-flit worm of m on the sole VC of link l and
+// marks it wait-blocked there.
+func blockWorm(f *router.Fabric, m *router.Message, l router.LinkID) {
+	vc := f.FreeVC(l)
+	f.Allocate(m, router.NilVC, vc)
+	m.HeadVC, m.Phase = vc, router.PhaseNetwork
+	f.VCs[vc].Flits = 1
+	f.VCs[vc].HasHeader = true
+	f.VCs[vc].HasTail = true
+	m.Attempts = 1
+	m.BlockedSince = 0
+}
+
+func newRing(t *testing.T) *ringFixture {
+	t.Helper()
+	topo := topology.New(3, 1)
+	rcfg := router.DefaultConfig()
+	rcfg.VCsPerLink = 1
+	fab, err := router.NewFabric(topo, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &ringFixture{
+		fab: fab,
+		l01: netLink(t, fab, 0, 1),
+		l12: netLink(t, fab, 1, 2),
+		l20: netLink(t, fab, 2, 0),
+	}
+	r.a = fab.NewMessage(0, 2, 1, 10)
+	r.b = fab.NewMessage(1, 0, 1, 5)
+	r.c = fab.NewMessage(2, 1, 1, 7)
+	blockWorm(fab, r.a, r.l01)
+	blockWorm(fab, r.b, r.l12)
+	blockWorm(fab, r.c, r.l20)
+	return r
+}
+
+// registerBlocked announces m to the detector the way the engine does on
+// its first failed routing attempt.
+func registerBlocked(d *Detector, f *router.Fabric, m *router.Message, now int64) bool {
+	node := f.RouterOf(f.LinkOfVC(m.HeadVC))
+	outs := f.Candidates(node, int(m.Dst), nil)
+	return d.RouteFailed(m, f.LinkOfVC(m.HeadVC), outs, true, now)
+}
+
+// cycleN runs n empty-transmission EndCycles starting at cycle 1.
+func cycleN(d *Detector, f *router.Fabric, n int) int64 {
+	transmitted := make([]bool, f.NumLinks())
+	now := int64(1)
+	for i := 0; i < n; i++ {
+		d.EndCycle(now, nil, transmitted)
+		now++
+	}
+	return now
+}
+
+// TestProbeReturnMarksInitiator walks a single probe around the 3-cycle:
+// emitted at cycle 1 (one flit on L12), forwarded at cycle 2 (one flit on
+// L20), and returning at cycle 3 when it finds L01 held by its own
+// initiator. The return schedules the initiator for marking on its next
+// failed routing attempt and consumes no flit.
+func TestProbeReturnMarksInitiator(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1})
+	r.b.Attempts, r.c.Attempts = 1, 1 // blocked, but only A initiates
+	if registerBlocked(d, r.fab, r.a, 0) {
+		t.Fatal("RouteFailed marked A before any probe ran")
+	}
+
+	now := cycleN(d, r.fab, 3)
+	pt := d.ProbeTotals()
+	if pt.Emitted != 1 || pt.Forwarded != 1 || pt.Returned != 1 || pt.Dropped != 0 {
+		t.Fatalf("probe lifecycle = %+v, want 1 emitted, 1 forwarded, 1 returned, 0 dropped", pt)
+	}
+	if pt.Flits != 2 {
+		t.Fatalf("probe flits = %d, want 2 (emit + forward; returns are free)", pt.Flits)
+	}
+	if pt.InFlight != 0 {
+		t.Fatalf("probes in flight = %d after return, want 0", pt.InFlight)
+	}
+
+	outs := r.fab.Candidates(1, int(r.a.Dst), nil)
+	if !d.RouteFailed(r.a, r.fab.LinkOfVC(r.a.HeadVC), outs, false, now) {
+		t.Fatal("RouteFailed did not deliver the pending mark to the initiator")
+	}
+	if d.RouteFailed(r.a, r.fab.LinkOfVC(r.a.HeadVC), outs, false, now) {
+		t.Fatal("pending mark delivered twice")
+	}
+}
+
+// TestThreeInitiators registers all three members of the cycle: each
+// launches its own probe, and all three return.
+func TestThreeInitiators(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1})
+	registerBlocked(d, r.fab, r.a, 0)
+	registerBlocked(d, r.fab, r.b, 0)
+	registerBlocked(d, r.fab, r.c, 0)
+
+	cycleN(d, r.fab, 3)
+	pt := d.ProbeTotals()
+	if pt.Emitted != 3 || pt.Forwarded != 3 || pt.Returned != 3 {
+		t.Fatalf("probe lifecycle = %+v, want 3 emitted, 3 forwarded, 3 returned", pt)
+	}
+}
+
+// TestDigestDedupe keeps cycling within one wave: the initiator re-launches
+// every cycle, but the digest window suppresses duplicates until
+// ReprobeEvery reopens it.
+func TestDigestDedupe(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1, ReprobeEvery: 1 << 30})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+
+	cycleN(d, r.fab, 10)
+	if pt := d.ProbeTotals(); pt.Emitted != 1 {
+		t.Fatalf("emitted %d probes in one dedupe wave, want 1", pt.Emitted)
+	}
+
+	// A short reprobe window re-opens the wave and re-probes the edge.
+	d2 := New(r.fab, Config{InitDelay: 1, ReprobeEvery: 4})
+	registerBlocked(d2, r.fab, r.a, 0)
+	cycleN(d2, r.fab, 10)
+	if pt := d2.ProbeTotals(); pt.Emitted < 2 {
+		t.Fatalf("emitted %d probes across reprobe windows, want >= 2", pt.Emitted)
+	}
+}
+
+// TestStealIdleYieldsToData verifies the transport models: with StealIdle a
+// data transmission on the requested link starves the emission, while the
+// dedicated control VC proceeds.
+func TestStealIdleYieldsToData(t *testing.T) {
+	for _, tc := range []struct {
+		transport Transport
+		want      int64
+	}{
+		{TransportStealIdle, 0},
+		{TransportControlVC, 1},
+	} {
+		r := newRing(t)
+		d := New(r.fab, Config{InitDelay: 1, Transport: tc.transport})
+		r.b.Attempts, r.c.Attempts = 1, 1
+		registerBlocked(d, r.fab, r.a, 0)
+
+		transmitted := make([]bool, r.fab.NumLinks())
+		transmitted[r.l12] = true // data flit crossed A's requested output
+		d.EndCycle(1, []router.LinkID{r.l12}, transmitted)
+		if pt := d.ProbeTotals(); pt.Emitted != tc.want {
+			t.Fatalf("%v: emitted %d with the link busy, want %d", tc.transport, pt.Emitted, tc.want)
+		}
+
+		// The gated edge is retried as soon as the link idles.
+		transmitted[r.l12] = false
+		d.EndCycle(2, nil, transmitted)
+		if pt := d.ProbeTotals(); pt.Emitted != 1 {
+			t.Fatalf("%v: emitted %d after the link idled, want 1", tc.transport, pt.Emitted)
+		}
+	}
+}
+
+// TestVictimOldest checks age-based victim selection: the probe visits B
+// (gen 5) and C (gen 7); the oldest, B, is scheduled instead of the
+// initiator A (gen 10).
+func TestVictimOldest(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1, Victim: VictimOldest})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+
+	now := cycleN(d, r.fab, 3)
+	if pt := d.ProbeTotals(); pt.Returned != 1 {
+		t.Fatalf("returned = %d, want 1", pt.Returned)
+	}
+	outsA := r.fab.Candidates(1, int(r.a.Dst), nil)
+	if d.RouteFailed(r.a, r.fab.LinkOfVC(r.a.HeadVC), outsA, false, now) {
+		t.Fatal("initiator A marked under VictimOldest; the oldest visited message owns the mark")
+	}
+	outsB := r.fab.Candidates(2, int(r.b.Dst), nil)
+	if !d.RouteFailed(r.b, r.fab.LinkOfVC(r.b.HeadVC), outsB, false, now) {
+		t.Fatal("oldest message B was not marked")
+	}
+}
+
+// TestMaxHopsDropsProbe caps probes at one hop: the emission is allowed but
+// the probe is discarded on arrival at the next header.
+func TestMaxHopsDropsProbe(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1, MaxHops: 1})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+
+	cycleN(d, r.fab, 4)
+	pt := d.ProbeTotals()
+	if pt.Returned != 0 {
+		t.Fatalf("probe returned despite a 1-hop cap (lifecycle %+v)", pt)
+	}
+	if pt.Dropped == 0 {
+		t.Fatal("capped probe was never dropped")
+	}
+}
+
+// TestRoutableHeaderStopsChase frees the channel C waits on: when a probe
+// reaches a header that has a free feasible output it must stop, because
+// that worm is not wait-blocked.
+func TestRoutableHeaderStopsChase(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+
+	// Break the cycle: release A's worm on L01 so C's requested output has
+	// a free VC (C will route next cycle). The probe chasing B then C must
+	// drop rather than manufacture a cycle.
+	d.EndCycle(1, nil, make([]bool, r.fab.NumLinks())) // emit toward B
+	r.fab.ReleaseWorm(r.a)
+	r.a.Phase = router.PhaseDelivered
+	cyc := make([]bool, r.fab.NumLinks())
+	d.EndCycle(2, nil, cyc) // forward at B's header toward C
+	d.EndCycle(3, nil, cyc) // arrive at C: C has a free output now
+	d.EndCycle(4, nil, cyc)
+	pt := d.ProbeTotals()
+	if pt.Returned != 0 {
+		t.Fatalf("probe returned through a routable header (lifecycle %+v)", pt)
+	}
+	if pt.Dropped == 0 {
+		t.Fatalf("probe was never dropped (lifecycle %+v)", pt)
+	}
+}
+
+// TestStaleProbeDropped releases the worm a probe is sitting on: the probe
+// must detect the ownership change and drop.
+func TestStaleProbeDropped(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+
+	d.EndCycle(1, nil, make([]bool, r.fab.NumLinks())) // probe now on B's VC
+	if pt := d.ProbeTotals(); pt.InFlight != 1 {
+		t.Fatalf("in flight = %d, want 1", pt.InFlight)
+	}
+	r.fab.ReleaseWorm(r.b)
+	r.b.Phase = router.PhaseDelivered
+	d.EndCycle(2, nil, make([]bool, r.fab.NumLinks()))
+	pt := d.ProbeTotals()
+	if pt.InFlight != 0 || pt.Dropped != 1 {
+		t.Fatalf("stale probe not dropped: %+v", pt)
+	}
+}
+
+// TestBodyWalk builds a two-link worm on a 4-ring and verifies the probe
+// walks the body link by link, charging one flit per traversal.
+func TestBodyWalk(t *testing.T) {
+	topo := topology.New(4, 1)
+	rcfg := router.DefaultConfig()
+	rcfg.VCsPerLink = 1
+	fab, err := router.NewFabric(topo, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l01 := netLink(t, fab, 0, 1)
+	l12 := netLink(t, fab, 1, 2)
+	l23 := netLink(t, fab, 2, 3)
+	l30 := netLink(t, fab, 3, 0)
+
+	// A: header at node 1, wants L12. B: holds L12 and L23, header at node
+	// 3, wants L30. C: holds L30, header at node 0, wants L01 (held by A).
+	a := fab.NewMessage(0, 2, 1, 0)
+	b := fab.NewMessage(1, 0, 2, 0)
+	c := fab.NewMessage(3, 1, 1, 0)
+	blockWorm(fab, a, l01)
+	vc1 := fab.FreeVC(l12)
+	fab.Allocate(b, router.NilVC, vc1)
+	vc2 := fab.FreeVC(l23)
+	fab.Allocate(b, vc1, vc2)
+	b.HeadVC, b.Phase = vc2, router.PhaseNetwork
+	fab.VCs[vc1].Flits = 1
+	fab.VCs[vc2].Flits = 1
+	fab.VCs[vc2].HasHeader = true
+	fab.VCs[vc1].HasTail = true
+	b.Attempts, b.BlockedSince = 1, 0
+	blockWorm(fab, c, l30)
+
+	d := New(fab, Config{InitDelay: 1})
+	registerBlocked(d, fab, a, 0)
+
+	// Cycle 1: emit onto B's tail VC (flit on L12). Cycle 2: walk the body
+	// to B's head VC (flit on L23). Cycle 3: forward at node 3 onto C
+	// (flit on L30). Cycle 4: return at node 0 where L01 is held by A.
+	cycleN(d, fab, 4)
+	pt := d.ProbeTotals()
+	if pt.Returned != 1 {
+		t.Fatalf("probe did not return around the 4-ring: %+v", pt)
+	}
+	if pt.Flits != 3 {
+		t.Fatalf("probe flits = %d, want 3 (L12, L23 body walk, L30)", pt.Flits)
+	}
+}
+
+// TestRouteSucceededClearsState ensures a message that routes after probes
+// were launched neither marks nor initiates further waves.
+func TestRouteSucceededClearsState(t *testing.T) {
+	r := newRing(t)
+	d := New(r.fab, Config{InitDelay: 1})
+	r.b.Attempts, r.c.Attempts = 1, 1
+	registerBlocked(d, r.fab, r.a, 0)
+	cycleN(d, r.fab, 3) // probe returns, pendingMark[A] set
+
+	d.RouteSucceeded(r.a, r.fab.LinkOfVC(r.a.HeadVC))
+	outs := r.fab.Candidates(1, int(r.a.Dst), nil)
+	if d.RouteFailed(r.a, r.fab.LinkOfVC(r.a.HeadVC), outs, false, 10) {
+		t.Fatal("mark survived RouteSucceeded")
+	}
+
+	emitted := d.ProbeTotals().Emitted
+	transmitted := make([]bool, r.fab.NumLinks())
+	d.EndCycle(10, nil, transmitted)
+	// A re-blocked with first=false above, so it initiates again — but only
+	// because it genuinely re-registered; a fully routed message would not
+	// appear. Just assert the detector stayed consistent.
+	pt := d.ProbeTotals()
+	if pt.Emitted < emitted {
+		t.Fatalf("emitted went backwards: %d -> %d", emitted, pt.Emitted)
+	}
+}
+
+// TestSelfDeadlockDetected covers a worm that wrapped all the way around a
+// torus dimension and blocks on its own body: the whole 3-ring is occupied
+// by one message whose header, back at its source node, wants the channel
+// its own tail still holds. The seed fan-out must recognize the initiator's
+// own worm on a feasible output as a cycle — a virtual return with zero
+// hops, zero flits, and no probe ever in flight.
+func TestSelfDeadlockDetected(t *testing.T) {
+	topo := topology.New(3, 1)
+	rcfg := router.DefaultConfig()
+	rcfg.VCsPerLink = 1
+	fab, err := router.NewFabric(topo, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l01 := netLink(t, fab, 0, 1)
+	l12 := netLink(t, fab, 1, 2)
+	l20 := netLink(t, fab, 2, 0)
+
+	m := fab.NewMessage(0, 1, 3, 10)
+	var prev router.VCID = router.NilVC
+	for _, l := range []router.LinkID{l01, l12, l20} {
+		vc := fab.FreeVC(l)
+		fab.Allocate(m, prev, vc)
+		fab.VCs[vc].Flits = 1
+		prev = vc
+	}
+	fab.VCOf(l01, 0).HasTail = true
+	fab.VCs[prev].HasHeader = true
+	m.HeadVC, m.Phase = prev, router.PhaseNetwork
+	m.Attempts = 1
+	m.BlockedSince = 0
+
+	d := New(fab, Config{InitDelay: 1})
+	if registerBlocked(d, fab, m, 0) {
+		t.Fatal("RouteFailed marked the worm before any probe ran")
+	}
+	now := cycleN(d, fab, 2)
+
+	pt := d.ProbeTotals()
+	if pt.Returned != 1 || pt.Emitted != 0 || pt.Forwarded != 0 {
+		t.Fatalf("probe totals = %+v, want exactly one virtual return and no spawns", pt)
+	}
+	if pt.Flits != 0 {
+		t.Fatalf("probe flits = %d, want 0 (self-cycle found without leaving the router)", pt.Flits)
+	}
+	if pt.InFlight != 0 {
+		t.Fatalf("probes in flight = %d, want 0", pt.InFlight)
+	}
+	outs := fab.Candidates(0, int(m.Dst), nil)
+	if !d.RouteFailed(m, fab.LinkOfVC(m.HeadVC), outs, false, now) {
+		t.Fatal("self-deadlocked worm was not marked")
+	}
+}

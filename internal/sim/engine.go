@@ -74,6 +74,12 @@ type Engine struct {
 	// flagCounts samples the detector's live I/DT/G flag occupancy for the
 	// metrics sampler; nil when the detector is not a detect.FlagObserver.
 	flagCounts func() (int, int, int)
+	// probeTotals samples the cumulative probe activity of a probe-based
+	// detector; nil when the detector is not a detect.ProbeObserver.
+	// lastProbe holds the previous cycle's snapshot so Step can charge
+	// per-cycle deltas to the measured window and the metrics collector.
+	probeTotals func() detect.ProbeTotals
+	lastProbe   detect.ProbeTotals
 	// oracleSeen[id] is the cycle the oracle first observed message id in
 	// the deadlocked set (-1 = not currently deadlocked). Cleared when the
 	// message routes, delivers, or is re-queued. Grown on demand; in steady
@@ -148,6 +154,9 @@ func New(cfg Config) (*Engine, error) {
 	if o, ok := e.det.(detect.FlagObserver); ok {
 		e.flagCounts = o.FlagCounts
 	}
+	if o, ok := e.det.(detect.ProbeObserver); ok {
+		e.probeTotals = o.ProbeTotals
+	}
 	e.mc.Attach(e.det.Name(), topo.N())
 	e.rec = recovery.New(fab, cfg.Recovery, recovery.Hooks{
 		VCFreed: func(l router.LinkID) {
@@ -195,6 +204,7 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.st.Nodes = topo.Nodes()
+	e.st.NetLinks = fab.NumNetLinks()
 	return e, nil
 }
 
@@ -316,6 +326,24 @@ func (e *Engine) Step() error {
 	e.det.EndCycle(e.now, e.txLinks, e.transmitted)
 	if e.measuring && e.dtCount != nil {
 		e.st.DTFlagCycleSum += int64(e.dtCount())
+	}
+	if e.probeTotals != nil {
+		pt := e.probeTotals()
+		if e.measuring {
+			e.st.ProbesEmitted += pt.Emitted - e.lastProbe.Emitted
+			e.st.ProbesForwarded += pt.Forwarded - e.lastProbe.Forwarded
+			e.st.ProbesDropped += pt.Dropped - e.lastProbe.Dropped
+			e.st.ProbesReturned += pt.Returned - e.lastProbe.Returned
+			e.st.ProbeFlits += pt.Flits - e.lastProbe.Flits
+		}
+		if e.mc != nil {
+			e.mc.Add(metrics.MProbesEmitted, pt.Emitted-e.lastProbe.Emitted)
+			e.mc.Add(metrics.MProbesForwarded, pt.Forwarded-e.lastProbe.Forwarded)
+			e.mc.Add(metrics.MProbesDropped, pt.Dropped-e.lastProbe.Dropped)
+			e.mc.Add(metrics.MProbesReturned, pt.Returned-e.lastProbe.Returned)
+			e.mc.Add(metrics.MProbeFlits, pt.Flits-e.lastProbe.Flits)
+		}
+		e.lastProbe = pt
 	}
 	e.route()
 	e.feedSources()

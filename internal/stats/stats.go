@@ -14,6 +14,9 @@ type Counters struct {
 	Cycles int64
 	// Nodes is the network size, for per-node rates.
 	Nodes int
+	// NetLinks is the number of network physical channels, for probe
+	// bandwidth-overhead rates.
+	NetLinks int
 
 	// Message lifecycle counts.
 	Generated      int64 // messages created at sources
@@ -55,6 +58,16 @@ type Counters struct {
 	// occupancy of the network; only populated when the detector implements
 	// detect.DTOccupier.
 	DTFlagCycleSum int64
+
+	// Probe-based (CMH edge-chasing) detection activity over the window:
+	// probe lifecycle counts by outcome, and the control flits probe
+	// movement charged to physical links. All zero for router-local
+	// mechanisms (NDM, PDM), which send no control messages.
+	ProbesEmitted   int64
+	ProbesForwarded int64
+	ProbesDropped   int64
+	ProbesReturned  int64
+	ProbeFlits      int64
 
 	// MarksPerCycleHist[k] counts cycles in which exactly k messages were
 	// marked, for k in [1, len); index 0 aggregates overflow. It quantifies
@@ -125,6 +138,17 @@ func (c *Counters) AvgDTFlags() float64 {
 		return 0
 	}
 	return float64(c.DTFlagCycleSum) / float64(c.Cycles)
+}
+
+// ProbeBandwidthPct returns probe control-flit traffic as a percentage of
+// aggregate network link capacity: 100 * ProbeFlits / (Cycles * NetLinks).
+// Each network link can carry one flit per cycle, so this is the fraction
+// of raw link bandwidth the detector's control messages consumed.
+func (c *Counters) ProbeBandwidthPct() float64 {
+	if c.Cycles == 0 || c.NetLinks == 0 {
+		return 0
+	}
+	return 100 * float64(c.ProbeFlits) / (float64(c.Cycles) * float64(c.NetLinks))
 }
 
 // MarksPerCycle returns Marked / Cycles, the mean number of messages marked

@@ -88,6 +88,23 @@ const (
 	// interval from this event to the matching KindDetect is the detection
 	// latency.
 	KindOracleDeadlock
+	// KindProbeEmit: blocked initiator Msg launched a CMH edge-chasing probe
+	// onto output channel Link at router Node, chasing the worm Aux that
+	// holds the channel. Arg = the probe's hop count (1 for a fresh probe).
+	KindProbeEmit
+	// KindProbeForward: a probe of initiator Msg reached the blocked header
+	// of the worm it was chasing and was forwarded onto output channel Link
+	// at router Node, now chasing worm Aux. Arg = hop count.
+	KindProbeForward
+	// KindProbeDrop: a probe of initiator Msg terminated without returning.
+	// Link = the probe's last position, Aux = the worm it was chasing, Arg =
+	// the ProbeDrop* reason.
+	KindProbeDrop
+	// KindProbeReturn: a probe of initiator Msg arrived at output channel
+	// Link (router Node) whose virtual channels include one held by its own
+	// initiator — an edge-chasing cycle. Arg = hop count, Aux = the victim
+	// the detector schedules for marking.
+	KindProbeReturn
 
 	numKinds
 )
@@ -110,6 +127,10 @@ var kindNames = [numKinds]string{
 	KindRecoverStart:   "recover-start",
 	KindRecoverEnd:     "recover-end",
 	KindOracleDeadlock: "oracle-deadlock",
+	KindProbeEmit:      "probe-emit",
+	KindProbeForward:   "probe-forward",
+	KindProbeDrop:      "probe-drop",
+	KindProbeReturn:    "probe-return",
 }
 
 func (k Kind) String() string {
@@ -117,6 +138,17 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindNames returns the JSONL names of every valid event kind, in
+// declaration order. Callers use it to report the legal values when
+// rejecting an unknown kind name.
+func KindNames() []string {
+	names := make([]string, 0, int(numKinds)-1)
+	for k := KindInvalid + 1; k < numKinds; k++ {
+		names = append(names, kindNames[k])
+	}
+	return names
 }
 
 // KindByName returns the Kind with the given JSONL name.
@@ -156,6 +188,24 @@ const (
 	PReasonAllInactive = 4
 )
 
+// Probe-drop reason codes carried in KindProbeDrop.Arg.
+const (
+	// ProbeDropStale: the channel the probe sat on changed hands, or the
+	// worm it was chasing moved or left the network — the wait edge the
+	// probe was traversing no longer exists.
+	ProbeDropStale = 1
+	// ProbeDropRoutable: the probe reached a blocked header that has a free
+	// virtual channel on some feasible output — the worm is not actually
+	// wait-blocked, so the edge chase ends here.
+	ProbeDropRoutable = 2
+	// ProbeDropHops: the probe exceeded the detector's MaxHops cap.
+	ProbeDropHops = 3
+	// ProbeDropDeadEnd: the blocked header's dependency edges were all
+	// either already probed this wave (digest dedupe) or chased the probe's
+	// own target, leaving nothing to forward onto.
+	ProbeDropDeadEnd = 4
+)
+
 // Event is one packed flight-recorder record. Unused reference fields hold
 // the router package's Nil sentinels (or -1 for Node/Aux).
 type Event struct {
@@ -177,8 +227,8 @@ type Event struct {
 type Recorder struct {
 	cycle int64
 	ring  []Event
-	next  int   // ring write position
-	size  int   // valid events in ring
+	next  int // ring write position
+	size  int // valid events in ring
 	total uint64
 
 	sink    *bufio.Writer

@@ -27,6 +27,7 @@ import (
 	"wormnet/internal/exp"
 	"wormnet/internal/harness"
 	"wormnet/internal/metrics"
+	"wormnet/internal/probe"
 	"wormnet/internal/recovery"
 	"wormnet/internal/router"
 	"wormnet/internal/routing"
@@ -69,8 +70,38 @@ const (
 	SourceAge   Mechanism = "src-age"
 	SourceStall Mechanism = "src-stall"
 	HeaderBlock Mechanism = "hdr-block"
+	// CMH is Chandy–Misra–Haas edge chasing: blocked headers launch probe
+	// control messages along the wait-for graph, and a probe returning to a
+	// channel held by its initiator proves a cycle. Unlike the router-local
+	// mechanisms its control messages consume link bandwidth (see
+	// internal/probe and the Probe* Config knobs).
+	CMH Mechanism = "cmh"
 	// NoDetection disables detection (and therefore recovery).
 	NoDetection Mechanism = "none"
+)
+
+// ProbeTransport names how CMH probe flits share physical links with data.
+type ProbeTransport string
+
+// Probe transports.
+const (
+	// ProbeStealIdle moves probes only across links that carried no data
+	// flit this cycle (the default).
+	ProbeStealIdle ProbeTransport = "steal-idle"
+	// ProbeControlVC models a dedicated control virtual channel: one probe
+	// flit per link per cycle regardless of data traffic.
+	ProbeControlVC ProbeTransport = "ctrl-vc"
+)
+
+// ProbeVictim names CMH's victim-selection policy.
+type ProbeVictim string
+
+// Probe victim policies.
+const (
+	// ProbeVictimLocal marks the probe's initiator (the default).
+	ProbeVictimLocal ProbeVictim = "local"
+	// ProbeVictimOldest marks the oldest message the probe visited.
+	ProbeVictimOldest ProbeVictim = "oldest"
 )
 
 // Routing names a routing algorithm.
@@ -173,6 +204,13 @@ type Config struct {
 	// SelectivePromotion enables the selective P->G re-arming variant the
 	// paper mentions as future work (default: the paper's simple policy).
 	SelectivePromotion bool
+
+	// CMH-only knobs; ignored by the other mechanisms. Threshold doubles
+	// as CMH's probe initiation delay. Zero values select the internal/probe
+	// defaults (steal-idle transport, local victim, 64-hop cap).
+	ProbeTransport ProbeTransport
+	ProbeVictim    ProbeVictim
+	ProbeMaxHops   int
 
 	// Recovery style for marked messages.
 	Recovery Recovery
@@ -336,6 +374,25 @@ func (c Config) detectorFactory() (sim.DetectorFactory, error) {
 		return func(f *router.Fabric) detect.Detector { return detect.NewSourceStallTimeout(th) }, nil
 	case HeaderBlock:
 		return func(f *router.Fabric) detect.Detector { return detect.NewHeaderBlockTimeout(th) }, nil
+	case CMH:
+		pc := probe.Config{InitDelay: th, MaxHops: int32(c.ProbeMaxHops)}
+		switch c.ProbeTransport {
+		case ProbeStealIdle, "":
+			pc.Transport = probe.TransportStealIdle
+		case ProbeControlVC:
+			pc.Transport = probe.TransportControlVC
+		default:
+			return nil, fmt.Errorf("wormnet: unknown probe transport %q", c.ProbeTransport)
+		}
+		switch c.ProbeVictim {
+		case ProbeVictimLocal, "":
+			pc.Victim = probe.VictimLocal
+		case ProbeVictimOldest:
+			pc.Victim = probe.VictimOldest
+		default:
+			return nil, fmt.Errorf("wormnet: unknown probe victim %q", c.ProbeVictim)
+		}
+		return func(f *router.Fabric) detect.Detector { return probe.New(f, pc) }, nil
 	case NoDetection:
 		return nil, nil
 	default:
