@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics profile clean
+.PHONY: all build test race vet smoke shard-smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards profile clean
 
 all: vet test
 
@@ -31,6 +31,18 @@ smoke: build
 		-workers 4 -checkpoint /tmp/wormnet-sweep.jsonl -resume -quiet -json > /tmp/wormnet-resumed.json
 	cmp /tmp/wormnet-serial.json /tmp/wormnet-resumed.json
 	@echo "smoke: parallel and resumed sweeps byte-identical to serial"
+
+# Sharded determinism smoke: a sweep stepped by 4 worker shards per
+# simulation must be byte-identical to the serial sweep. This is the
+# two-phase cycle barrier's core guarantee (DESIGN.md §11).
+shard-smoke: build
+	$(GO) build -o /tmp/wormnet-loadsweep ./cmd/loadsweep
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -quiet -json > /tmp/wormnet-serial.json
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -shards 4 -quiet -json > /tmp/wormnet-sharded.json
+	cmp /tmp/wormnet-serial.json /tmp/wormnet-sharded.json
+	@echo "shard-smoke: 4-shard sweep byte-identical to serial"
 
 # Flight-recorder smoke: a saturated single-VC run must capture a decodable
 # event stream containing detection verdicts, and the bounded ring mode must
@@ -110,6 +122,19 @@ bench-trace:
 bench-metrics:
 	$(GO) test -run NONE -bench 'EngineStepMetrics' -benchmem -benchtime 2s \
 		. | tee results/metrics_overhead.txt
+
+# Engine-cycle wall-clock vs shard count on the paper-scale 8-ary 3-cube;
+# writes results/shard_scaling.txt. Output is byte-identical across the row
+# by construction, so this only measures speed. Real speedup requires real
+# cores: the file records how many were available when it was generated.
+bench-shards:
+	@echo "# Saturated engine cycle vs shard count (8-ary 3-cube, 512 nodes)." > results/shard_scaling.txt
+	@echo "# Generated on a machine with $$(nproc) CPU(s) visible to the Go runtime." >> results/shard_scaling.txt
+	@echo "# Speedup needs real cores: on a single-CPU host the barrier's" >> results/shard_scaling.txt
+	@echo "# per-phase goroutine fan-out is pure overhead, so shards>1 can only" >> results/shard_scaling.txt
+	@echo "# be slower there; regenerate on a multi-core machine to measure scaling." >> results/shard_scaling.txt
+	$(GO) test -run NONE -bench 'EngineStepShards' -benchmem -benchtime 2s \
+		. | tee -a results/shard_scaling.txt
 
 # Three-way NDM/PDM/CMH detection shootout at a deadlock-prone operating
 # point; regenerates results/cmh_shootout.txt (detection-latency

@@ -103,6 +103,7 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume completed runs from the -checkpoint journal")
 		asJSON     = flag.Bool("json", false, "emit JSON instead of the text table")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		shards     = flag.Int("shards", 0, "worker shards per simulation under the deterministic cycle barrier (0 = serial; output is identical for any count)")
 	)
 	var obs harness.Observe
 	obs.AddFlags(flag.CommandLine)
@@ -126,6 +127,8 @@ func main() {
 		fail("-workers must be >= 0, got %d", *workers)
 	case *replicates < 1:
 		fail("-replicates must be >= 1, got %d", *replicates)
+	case *shards < 0 || *shards > intPow(*k, *n):
+		fail("-shards must be between 0 and the node count (%d), got %d", intPow(*k, *n), *shards)
 	case *resume && *checkpoint == "":
 		fail("-resume requires -checkpoint")
 	}
@@ -156,6 +159,7 @@ func main() {
 			cfg.Threshold = 32
 			cfg.Warmup = *warmup
 			cfg.Measure = *measure
+			cfg.Shards = *shards
 			sc, err := cfg.SimConfig()
 			if err != nil {
 				fail("%v", err)
@@ -264,4 +268,13 @@ func printTable(out sweepOut) {
 		}
 		fmt.Println()
 	}
+}
+
+// intPow computes k^n in integer arithmetic (the node count).
+func intPow(k, n int) int {
+	p := 1
+	for i := 0; i < n; i++ {
+		p *= k
+	}
+	return p
 }

@@ -41,6 +41,7 @@ func main() {
 		warmup    = flag.Int64("warmup", cfg.Warmup, "warm-up cycles")
 		measure   = flag.Int64("measure", cfg.Measure, "measured cycles")
 		seed      = flag.Uint64("seed", cfg.Seed, "random seed")
+		shards    = flag.Int("shards", 0, "worker shards stepping the fabric under the deterministic cycle barrier (0 = serial; results are identical for any count)")
 		oracle    = flag.Int64("oracle-every", 0, "run the global deadlock oracle every N cycles (0 = only at detections)")
 		observe   = flag.Int64("observe", 0, "print a fabric occupancy summary (and 2-D heatmap) every N cycles")
 		tracePath = flag.String("trace", "", "write flight-recorder events to this JSONL file")
@@ -74,6 +75,7 @@ func main() {
 	cfg.InjectionLimit = *injLimit
 	cfg.Warmup, cfg.Measure = *warmup, *measure
 	cfg.Seed = *seed
+	cfg.Shards = *shards
 	cfg.OracleEvery = *oracle
 	cfg.TracePath = *tracePath
 	cfg.TraceLast = *traceLast
@@ -84,6 +86,10 @@ func main() {
 		cfg.MetricsReady = func(addr string) {
 			fmt.Fprintf(os.Stderr, "wormsim: metrics listening on http://%s/metrics\n", addr)
 		}
+	}
+	if nodes := intPow(*k, *n); *shards < 0 || *shards > nodes {
+		fmt.Fprintf(os.Stderr, "wormsim: -shards must be between 0 and the node count (%d), got %d\n", nodes, *shards)
+		os.Exit(2)
 	}
 	if *traceLast > 0 && *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "wormsim: -trace-last requires -trace")
@@ -165,4 +171,13 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// intPow computes k^n in integer arithmetic (the node count).
+func intPow(k, n int) int {
+	p := 1
+	for i := 0; i < n; i++ {
+		p *= k
+	}
+	return p
 }

@@ -63,6 +63,22 @@ type Detector interface {
 	EndCycle(now int64, txLinks []router.LinkID, transmitted []bool)
 }
 
+// Sharded is implemented by detectors whose EndCycle work splits along the
+// fabric's occupancy shards: a serial pass over the cycle's transmitted
+// links (which may touch state owned by any shard, e.g. NDM's promotion of
+// another router's G/P flags) followed by per-shard passes over busy links
+// that touch only state owned by that shard. The engine calls EndCycleTx
+// once on the barrier's serial spine, then EndCycleShard for every shard,
+// possibly concurrently — one call per shard, never two calls for the same
+// shard at once. The contract only holds while no tracer is attached
+// (trace.Recorder is not safe for concurrent use); the engine falls back to
+// the plain EndCycle when tracing. EndCycle and the split must compute
+// identical final state, so results are byte-identical either way.
+type Sharded interface {
+	EndCycleTx(now int64, txLinks []router.LinkID)
+	EndCycleShard(shard int, now int64, transmitted []bool)
+}
+
 // Traceable is implemented by detectors that can report their internal flag
 // transitions to the flight recorder. The engine attaches its recorder (which
 // may be nil — trace.Recorder methods are nil-safe) right after construction.

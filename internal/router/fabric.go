@@ -168,34 +168,47 @@ type Fabric struct {
 	free []MsgID
 
 	// Occupancy acceleration structures, maintained by Allocate and the
-	// release paths. busy[l] counts occupied VCs of link l; occupied lists
-	// every occupied VC (in no particular order); occIdx[v] is v's position
-	// in occupied, or -1.
-	busy     []int16
-	occupied []VCID
-	occIdx   []int32
-	// busyLinks lists links with busy > 0 (no particular order);
-	// busyLinkIdx[l] is l's position in busyLinks, or -1.
-	busyLinks   []LinkID
+	// release paths, sharded by the owner of each link so that shard
+	// workers mutate disjoint lists. A link (and its VCs) is owned by the
+	// shard of Links[l].Dst — the router at whose input its buffers sit.
+	// busy[l] counts occupied VCs of link l; occupied[s] lists every
+	// occupied VC owned by shard s (in no particular order); occIdx[v] is
+	// v's position within its owner's list, or -1. busyLinks[s] lists shard
+	// s's links with busy > 0; busyLinkIdx[l] is l's position within its
+	// owner's list, or -1. An unpartitioned fabric has a single shard
+	// owning everything.
+	busy        []int16
+	occupied    [][]VCID
+	occIdx      []int32
+	busyLinks   [][]LinkID
 	busyLinkIdx []int32
+	// shardOf[l] is the shard owning link l; gens[s] is shard s's share of
+	// the structural generation counter.
+	shardOf []int32
+	gens    []uint64
 
 	// failed marks physical channels taken out of service by fault
 	// injection; routing algorithms skip them.
 	failed []bool
 
-	// gen counts structural changes that can affect routing and deadlock
-	// analysis: every VC allocation or release and every link failure or
-	// repair bumps it. Observers (the deadlock oracle) compare generations
-	// to detect that cached analyses are still current. Message-level state
-	// (Phase, Attempts) is not covered; owners report those separately.
-	gen uint64
-
 	// wormBuf is ReleaseWorm's reusable result buffer.
 	wormBuf []VCID
 }
 
-// Gen returns the structural generation counter.
-func (f *Fabric) Gen() uint64 { return f.gen }
+// Gen returns the structural generation counter: the total number of
+// changes that can affect routing and deadlock analysis. Every VC
+// allocation or release and every link failure or repair bumps it.
+// Observers (the deadlock oracle) compare generations to detect that cached
+// analyses are still current; each shard owns a monotone share, so the sum
+// is monotone too. Message-level state (Phase, Attempts) is not covered;
+// owners report those separately.
+func (f *Fabric) Gen() uint64 {
+	g := f.gens[0]
+	for _, s := range f.gens[1:] {
+		g += s
+	}
+	return g
+}
 
 // NewFabric builds the fabric for the given topology and configuration.
 func NewFabric(t *topology.Torus, cfg Config) (*Fabric, error) {
@@ -265,16 +278,47 @@ func NewFabric(t *topology.Torus, cfg Config) (*Fabric, error) {
 		f.busyLinkIdx[i] = -1
 	}
 	f.failed = make([]bool, total)
+	f.shardOf = make([]int32, total)
+	f.occupied = make([][]VCID, 1)
+	f.busyLinks = make([][]LinkID, 1)
+	f.gens = make([]uint64, 1)
 	return f, nil
 }
+
+// SetPartition shards the occupancy structures by the given contiguous node
+// partition: each link is owned by the shard of its Dst router, so shard
+// workers stepping disjoint node ranges mutate disjoint occupancy lists.
+// It must be called on an empty fabric, before any allocation.
+func (f *Fabric) SetPartition(p topology.Partition) {
+	for s := range f.occupied {
+		if len(f.occupied[s]) > 0 {
+			panic("router: SetPartition on a fabric with occupied VCs")
+		}
+	}
+	n := p.Shards()
+	for l := range f.Links {
+		f.shardOf[l] = int32(p.Of(int(f.Links[l].Dst)))
+	}
+	f.occupied = make([][]VCID, n)
+	f.busyLinks = make([][]LinkID, n)
+	f.gens = make([]uint64, n)
+}
+
+// NumShards returns the number of occupancy shards (1 unless SetPartition
+// was called).
+func (f *Fabric) NumShards() int { return len(f.occupied) }
+
+// ShardOfLink returns the shard owning link l: the shard of the router at
+// whose input l's buffers sit.
+func (f *Fabric) ShardOfLink(l LinkID) int { return int(f.shardOf[l]) }
 
 // FailLink takes a physical channel out of service. Routing algorithms
 // will no longer propose it. The caller (the engine) is responsible for
 // evicting any worms currently holding its virtual channels.
-func (f *Fabric) FailLink(l LinkID) { f.failed[l] = true; f.gen++ }
+func (f *Fabric) FailLink(l LinkID) { f.failed[l] = true; f.gens[f.shardOf[l]]++ }
 
 // RepairLink returns a failed channel to service.
-func (f *Fabric) RepairLink(l LinkID) { f.failed[l] = false; f.gen++ }
+func (f *Fabric) RepairLink(l LinkID) { f.failed[l] = false; f.gens[f.shardOf[l]]++ }
 
 // LinkFailed reports whether channel l is out of service.
 func (f *Fabric) LinkFailed(l LinkID) bool { return f.failed[l] }
@@ -303,48 +347,72 @@ func (f *Fabric) OccupantsOf(l LinkID) []MsgID {
 	return out
 }
 
-// addOccupied registers vc in the occupancy structures.
+// addOccupied registers vc in its owner shard's occupancy structures.
 func (f *Fabric) addOccupied(vc VCID) {
-	f.gen++
 	l := f.VCs[vc].Link
+	s := f.shardOf[l]
+	f.gens[s]++
 	f.busy[l]++
 	if f.busy[l] == 1 {
-		f.busyLinkIdx[l] = int32(len(f.busyLinks))
-		f.busyLinks = append(f.busyLinks, l)
+		f.busyLinkIdx[l] = int32(len(f.busyLinks[s]))
+		f.busyLinks[s] = append(f.busyLinks[s], l)
 	}
-	f.occIdx[vc] = int32(len(f.occupied))
-	f.occupied = append(f.occupied, vc)
+	f.occIdx[vc] = int32(len(f.occupied[s]))
+	f.occupied[s] = append(f.occupied[s], vc)
 }
 
-// removeOccupied unregisters vc (swap-remove).
+// removeOccupied unregisters vc (swap-remove within its owner shard).
 func (f *Fabric) removeOccupied(vc VCID) {
-	f.gen++
 	l := f.VCs[vc].Link
+	s := f.shardOf[l]
+	f.gens[s]++
 	f.busy[l]--
 	if f.busy[l] == 0 {
+		bl := f.busyLinks[s]
 		idx := f.busyLinkIdx[l]
-		last := f.busyLinks[len(f.busyLinks)-1]
-		f.busyLinks[idx] = last
+		last := bl[len(bl)-1]
+		bl[idx] = last
 		f.busyLinkIdx[last] = idx
-		f.busyLinks = f.busyLinks[:len(f.busyLinks)-1]
+		f.busyLinks[s] = bl[:len(bl)-1]
 		f.busyLinkIdx[l] = -1
 	}
+	oc := f.occupied[s]
 	idx := f.occIdx[vc]
-	last := f.occupied[len(f.occupied)-1]
-	f.occupied[idx] = last
+	last := oc[len(oc)-1]
+	oc[idx] = last
 	f.occIdx[last] = idx
-	f.occupied = f.occupied[:len(f.occupied)-1]
+	f.occupied[s] = oc[:len(oc)-1]
 	f.occIdx[vc] = -1
 }
 
-// Occupied returns the occupied virtual channels, in no particular order.
-// The slice is owned by the fabric: callers must not mutate it, and any
-// Allocate or release invalidates it.
-func (f *Fabric) Occupied() []VCID { return f.occupied }
+// OccupiedShard returns shard s's occupied virtual channels, in no
+// particular order. The slice is owned by the fabric: callers must not
+// mutate it, and any Allocate or release within the shard invalidates it.
+func (f *Fabric) OccupiedShard(s int) []VCID { return f.occupied[s] }
 
-// BusyLinks returns the physical channels with at least one occupied VC, in
-// no particular order, under the same ownership rules as Occupied.
-func (f *Fabric) BusyLinks() []LinkID { return f.busyLinks }
+// BusyLinksShard returns shard s's physical channels with at least one
+// occupied VC, in no particular order, under the same ownership rules as
+// OccupiedShard.
+func (f *Fabric) BusyLinksShard(s int) []LinkID { return f.busyLinks[s] }
+
+// NumOccupied returns the total number of occupied virtual channels.
+func (f *Fabric) NumOccupied() int {
+	n := 0
+	for s := range f.occupied {
+		n += len(f.occupied[s])
+	}
+	return n
+}
+
+// NumBusyLinks returns the total number of physical channels with at least
+// one occupied VC.
+func (f *Fabric) NumBusyLinks() int {
+	n := 0
+	for s := range f.busyLinks {
+		n += len(f.busyLinks[s])
+	}
+	return n
+}
 
 // NumLinks returns the total number of physical channels.
 func (f *Fabric) NumLinks() int { return len(f.Links) }
@@ -451,28 +519,50 @@ func (f *Fabric) Allocate(m *Message, from VCID, vc VCID) {
 // arbitration. It returns flags describing the flit that moved so callers
 // can update message state and detection hardware.
 func (f *Fabric) MoveFlit(u VCID) (header, tail bool) {
+	v, header, tail := f.MoveFlitSrc(u)
+	f.MoveFlitDst(v, header, tail)
+	return header, tail
+}
+
+// MoveFlitSrc performs the source half of a decided flit transfer: the flit
+// leaves VC u (releasing u if it was the tail) and the destination VC,
+// header and tail classification are returned for MoveFlitDst. The split
+// exists for the sharded engine's two-phase commit: the shard owning u
+// applies the source half, and the shard owning the destination (or the
+// barrier's serial merge, for boundary moves) applies the other.
+func (f *Fabric) MoveFlitSrc(u VCID) (v VCID, header, tail bool) {
 	src := &f.VCs[u]
 	if src.Flits <= 0 || src.Next == NilVC {
-		panic("router: MoveFlit on VC with no forwardable flit")
+		panic("router: MoveFlitSrc on VC with no forwardable flit")
 	}
-	dst := &f.VCs[src.Next]
-	if dst.Flits >= int32(f.Cfg.BufFlits) {
-		panic("router: MoveFlit into full buffer")
-	}
+	v = src.Next
 	header = src.HasHeader
 	tail = src.HasTail && src.Flits == 1
 	src.Flits--
-	dst.Flits++
 	if header {
 		src.HasHeader = false
-		dst.HasHeader = true
 	}
 	if tail {
 		src.HasTail = false
-		dst.HasTail = true
 		f.releaseVC(u)
 	}
-	return header, tail
+	return v, header, tail
+}
+
+// MoveFlitDst performs the destination half of a decided flit transfer: the
+// flit enters VC v carrying the classification MoveFlitSrc returned.
+func (f *Fabric) MoveFlitDst(v VCID, header, tail bool) {
+	dst := &f.VCs[v]
+	if dst.Flits >= int32(f.Cfg.BufFlits) {
+		panic("router: MoveFlitDst into full buffer")
+	}
+	dst.Flits++
+	if header {
+		dst.HasHeader = true
+	}
+	if tail {
+		dst.HasTail = true
+	}
 }
 
 // releaseVC frees VC u after the occupant's tail has left it.
@@ -593,9 +683,10 @@ func (f *Fabric) CheckInvariants() error {
 			continue
 		}
 		busy[vc.Link]++
+		s := f.shardOf[vc.Link]
 		idx := f.occIdx[i]
-		if idx < 0 || int(idx) >= len(f.occupied) || f.occupied[idx] != VCID(i) {
-			return fmt.Errorf("router: occupied VC %d not tracked (idx %d)", i, idx)
+		if idx < 0 || int(idx) >= len(f.occupied[s]) || f.occupied[s][idx] != VCID(i) {
+			return fmt.Errorf("router: occupied VC %d not tracked in shard %d (idx %d)", i, s, idx)
 		}
 		if vc.Flits < 0 || vc.Flits > int32(f.Cfg.BufFlits) {
 			return fmt.Errorf("router: VC %d flit count %d out of range", i, vc.Flits)

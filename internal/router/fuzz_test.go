@@ -178,10 +178,10 @@ func TestFabricOperationFuzz(t *testing.T) {
 	if err := f.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(f.Occupied()); got != 0 {
+	if got := f.NumOccupied(); got != 0 {
 		t.Fatalf("%d VCs still occupied after teardown", got)
 	}
-	if got := len(f.BusyLinks()); got != 0 {
+	if got := f.NumBusyLinks(); got != 0 {
 		t.Fatalf("%d links still busy after teardown", got)
 	}
 }

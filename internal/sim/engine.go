@@ -89,24 +89,37 @@ type Engine struct {
 	// Per-node FIFO source queues of messages waiting for an injection
 	// port (both freshly generated and recovered messages).
 	queues []msgQueue
-	// Messages whose source is still pushing flits into an injection port.
-	injecting []router.MsgID
 	// Messages whose header is waiting to be routed. Headers that arrived
 	// (or were injected) during cycle T enter pendingNew and become
 	// routable in cycle T+1, charging the paper's 1-cycle routing delay.
+	// (Messages still being fed flits live on the per-shard injecting lists.)
 	pending    []router.MsgID
 	pendingNew []router.MsgID
 
+	// Sharded execution (see shard.go). part is the contiguous node
+	// partition; shards holds each shard's node range and per-cycle record
+	// lists; nodeRng gives every node its own generation stream so the draw
+	// sequence is independent of the shard count; detShard is non-nil when
+	// the detector supports per-shard EndCycle splitting.
+	part     topology.Partition
+	shards   []shardState
+	nodeRng  []rng.Source
+	detShard detect.Sharded
+
 	// Per-cycle scratch state.
-	transmitted    []bool          // flit crossed link l this cycle
-	txLinks        []router.LinkID // links with transmitted set this cycle
-	flitsAtStart   []int32         // VC occupancy snapshot for simultaneous transfer
-	feeders        [][]router.VCID // per target link: VCs requesting to send
-	activeLinks    []router.LinkID // links with feeders this cycle
-	inputUsedAt    []int64         // cycle stamp: input channel already sent a flit
-	candBuf        []router.LinkID
-	vcCandBuf      []router.VCID
-	deliveryVCs    []router.VCID
+	transmitted []bool          // flit crossed link l this cycle
+	txLinks     []router.LinkID // links with transmitted set this cycle (merged)
+	feeders     [][]router.VCID // per target link: VCs requesting to send
+	inputUsedAt []int64         // cycle stamp: input channel already sent a flit
+	candBuf     []router.LinkID
+	deliveryVCs []router.VCID
+	// Flat candidate arena for the parallel routing phase: pending entry i
+	// owns routeCands[i*candStride : (i+1)*candStride]; routeCandsLen[i] is
+	// its candidate count, or -1 for entries that will not route this cycle.
+	routeCands    []router.VCID
+	routeCandsLen []int32
+	candStride    int
+
 	marksThisCycle int
 	oracleCycle    int64 // last cycle the oracle ran (-1 = never)
 	oracleSize     int   // size of the most recent oracle deadlock set
@@ -123,7 +136,12 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The partition must be installed before the detector is built: sharded
+	// detectors size their per-shard flag counts from Fabric.NumShards.
+	part := topology.NewPartition(topo.Nodes(), cfg.Shards)
+	fab.SetPartition(part)
 	e := &Engine{
+		part:        part,
 		cfg:         cfg,
 		topo:        topo,
 		fab:         fab,
@@ -157,6 +175,9 @@ func New(cfg Config) (*Engine, error) {
 	if o, ok := e.det.(detect.ProbeObserver); ok {
 		e.probeTotals = o.ProbeTotals
 	}
+	if d, ok := e.det.(detect.Sharded); ok {
+		e.detShard = d
+	}
 	e.mc.Attach(e.det.Name(), topo.N())
 	e.rec = recovery.New(fab, cfg.Recovery, recovery.Hooks{
 		VCFreed: func(l router.LinkID) {
@@ -172,10 +193,21 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.queues = make([]msgQueue, topo.Nodes())
 	e.transmitted = make([]bool, fab.NumLinks())
-	e.flitsAtStart = make([]int32, len(fab.VCs))
 	e.inputUsedAt = make([]int64, fab.NumLinks())
 	for i := range e.inputUsedAt {
 		e.inputUsedAt[i] = -1
+	}
+	// Every node draws generation randomness from its own stream derived
+	// from the run seed, so the sequence each node sees is a pure function
+	// of (seed, node) — independent of shard count and scheduling. The
+	// shared stream e.rnd remains for the serial routing commit (PickVC).
+	e.nodeRng = make([]rng.Source, topo.Nodes())
+	for i := range e.nodeRng {
+		e.nodeRng[i] = *rng.New(rng.Derive(cfg.Seed, uint64(i)))
+	}
+	e.shards = make([]shardState, part.Shards())
+	for s := range e.shards {
+		e.shards[s].lo, e.shards[s].hi = part.Range(s)
 	}
 	// Pre-size the per-cycle scratch buffers to their geometric maxima so
 	// the steady-state hot path never grows them: each target VC has at
@@ -192,10 +224,9 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e.txLinks = make([]router.LinkID, 0, fab.NumLinks())
-	e.activeLinks = make([]router.LinkID, 0, fab.NumLinks())
 	maxCands := topo.Degree() + cfg.Router.DelPorts
 	e.candBuf = make([]router.LinkID, 0, maxCands)
-	e.vcCandBuf = make([]router.VCID, 0, maxCands*int(maxVC))
+	e.candStride = maxCands * int(maxVC)
 	e.deliveryVCs = make([]router.VCID, 0, topo.Nodes()*cfg.Router.DelPorts)
 	for node := 0; node < topo.Nodes(); node++ {
 		for p := 0; p < cfg.Router.DelPorts; p++ {
@@ -277,7 +308,16 @@ func (e *Engine) RepairLink(l router.LinkID) { e.fab.RepairLink(l) }
 // InjectMessage enqueues a message at node src's source queue, bypassing
 // the random generator. Combined with Load = 0 it gives deterministic,
 // hand-scripted workloads (used by tests and teaching examples).
+//
+// It honors the same MaxSourceQueue bound the generator does: when src's
+// queue is full the message is rejected and nil is returned, leaving no
+// trace in the pool or the statistics. (Scripted workloads that outrun the
+// injection stage would otherwise grow the queue without limit, which the
+// random generator is never allowed to do.)
 func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
+	if e.queues[src].Len() >= e.cfg.MaxSourceQueue {
+		return nil
+	}
 	m := e.fab.NewMessage(src, dst, length, e.now)
 	m.Phase = router.PhaseQueued
 	e.queues[src].Push(m.ID)
@@ -297,7 +337,9 @@ func (e *Engine) Run() (*Result, error) {
 			return nil, err
 		}
 	}
-	e.st.Cycles = e.cfg.Measure
+	// st.Cycles was accumulated by Step, one count per measuring-phase
+	// cycle, so a run truncated or extended by manual Step calls reports
+	// the cycles it actually measured rather than the configured window.
 	return &Result{
 		Counters:          e.st,
 		Detector:          e.det.Name(),
@@ -309,6 +351,12 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 // Step advances the simulation by one cycle.
+//
+// Each stage is a two-phase barrier step over the node partition (see
+// shard.go): the parallel phase computes and applies shard-local work, the
+// serial spine between phases replays per-shard records whose side effects
+// must interleave in one global order. With Config.Shards == 1 every phase
+// runs inline on the calling goroutine and the cycle is fully serial.
 func (e *Engine) Step() error {
 	e.measuring = e.now >= e.cfg.Warmup && e.now < e.cfg.Warmup+e.cfg.Measure
 	e.marksThisCycle = 0
@@ -319,11 +367,27 @@ func (e *Engine) Step() error {
 	e.pending = append(e.pending, e.pendingNew...)
 	e.pendingNew = e.pendingNew[:0]
 
-	e.generate()
-	e.admit()
-	e.transfer()
-	e.drainDelivery()
-	e.det.EndCycle(e.now, e.txLinks, e.transmitted)
+	e.runPhase(phaseGenerate)
+	e.commitGenerate()
+	e.runPhase(phaseAdmit)
+	e.commitAdmit()
+	e.runPhase(phaseTransferA)
+	e.runPhase(phaseTransferB)
+	e.commitTransfer()
+	e.runPhase(phaseDrain)
+	e.commitDelivery()
+	e.mergeTxLinks()
+	if e.detShard != nil && len(e.shards) > 1 && e.tr == nil {
+		// Split EndCycle: the transmitted-link pass runs serially (it may
+		// promote G/P state owned by any shard), the per-shard busy-link
+		// counting runs in parallel. Identical final state by contract;
+		// tracing forces the serial path because the recorder is not safe
+		// for concurrent use.
+		e.detShard.EndCycleTx(e.now, e.txLinks)
+		e.runPhase(phaseDetect)
+	} else {
+		e.det.EndCycle(e.now, e.txLinks, e.transmitted)
+	}
 	if e.measuring && e.dtCount != nil {
 		e.st.DTFlagCycleSum += int64(e.dtCount())
 	}
@@ -345,8 +409,11 @@ func (e *Engine) Step() error {
 		}
 		e.lastProbe = pt
 	}
-	e.route()
-	e.feedSources()
+	e.prepareRouteCands()
+	e.runPhase(phaseRouteCands)
+	e.routeCommit()
+	e.runPhase(phaseFeed)
+	e.commitFeed()
 	e.rec.Step()
 
 	if e.cfg.OracleEvery > 0 && e.now%e.cfg.OracleEvery == 0 {
@@ -386,195 +453,13 @@ func (e *Engine) Step() error {
 			return fmt.Errorf("cycle %d: %w", e.now, err)
 		}
 	}
+	if e.measuring {
+		// One measured cycle actually executed; Run reports the total, so
+		// truncated or hand-stepped runs stay accounting-exact.
+		e.st.Cycles++
+	}
 	e.now++
 	return nil
-}
-
-// ---------------------------------------------------------------------------
-// Stage 1: message generation.
-
-func (e *Engine) generate() {
-	for node := 0; node < e.topo.Nodes(); node++ {
-		if e.queues[node].Len() >= e.cfg.MaxSourceQueue {
-			// Source queue full: generation pauses at this node (offered
-			// load is capped, which is inevitable beyond saturation).
-			continue
-		}
-		dst, length, ok := e.gen.Next(node, e.rnd)
-		if !ok {
-			continue
-		}
-		m := e.fab.NewMessage(node, dst, length, e.now)
-		m.Phase = router.PhaseQueued
-		e.queues[node].Push(m.ID)
-		e.mc.Inc(metrics.MGenerated)
-		if e.measuring {
-			e.st.Generated++
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 2: injection admission (with the injection-limitation mechanism).
-
-func (e *Engine) admit() {
-	limit := e.cfg.InjectionLimit
-	for node := 0; node < e.topo.Nodes(); node++ {
-		q := &e.queues[node]
-		if q.Len() == 0 {
-			continue
-		}
-		// The injection-limitation check must be re-evaluated per admission,
-		// not once per node: a router with several injection ports would
-		// otherwise admit up to InjPorts messages in the cycle the busy
-		// count is still at the threshold, overshooting the limit. Each
-		// message admitted this cycle will occupy a network output VC before
-		// the count is observed again, so it is charged immediately.
-		busy := 0
-		if limit >= 0 {
-			busy = e.fab.BusyNetOutputVCs(node)
-		}
-		for p := 0; p < e.cfg.Router.InjPorts && q.Len() > 0; p++ {
-			if limit >= 0 && busy > limit {
-				break
-			}
-			l := e.fab.InjLink(node, p)
-			vc := e.fab.FreeVC(l)
-			if vc == router.NilVC {
-				continue
-			}
-			m := e.fab.Msg(q.Pop())
-			busy++
-			m.Phase = router.PhaseNetwork
-			m.InjLink = l
-			m.InjectTime = e.now
-			m.LastSourceFlit = e.now
-			e.fab.Allocate(m, router.NilVC, vc)
-			m.HeadVC = vc
-			e.injecting = append(e.injecting, m.ID)
-			e.tr.Emit(trace.KindInject, m.ID, l, int32(node), int64(m.Length), int32(m.Dst))
-			e.tr.Emit(trace.KindVCAlloc, m.ID, l, int32(node), 0, int32(vc))
-			e.mc.Inc(metrics.MInjected)
-			if e.measuring {
-				e.st.Injected++
-			}
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 3: flit transfer (crossbar + channel).
-//
-// All moves are decided against a start-of-cycle snapshot of buffer
-// occupancy, so a flit advances at most one hop per cycle and flow control
-// is credit-exact. Constraints: at most one flit crosses each physical
-// channel per cycle (channel bandwidth), and at most one flit leaves each
-// input physical channel per cycle (crossbar port).
-
-func (e *Engine) transfer() {
-	fab := e.fab
-	vcs := fab.VCs
-	for _, l := range e.txLinks {
-		e.transmitted[l] = false
-	}
-	e.txLinks = e.txLinks[:0]
-	// Snapshot occupancy and collect transfer requests grouped by target
-	// physical channel. Only occupied VCs can hold or receive flits, so
-	// iterating the occupied list suffices.
-	e.activeLinks = e.activeLinks[:0]
-	for _, i := range fab.Occupied() {
-		e.flitsAtStart[i] = vcs[i].Flits
-		if vcs[i].Flits > 0 && vcs[i].Next != router.NilVC {
-			tgt := vcs[i].Next
-			tl := vcs[tgt].Link
-			if len(e.feeders[tl]) == 0 {
-				e.activeLinks = append(e.activeLinks, tl)
-			}
-			e.feeders[tl] = append(e.feeders[tl], i)
-		}
-	}
-	// Arbitrate each target channel: one winner per channel, round-robin
-	// over feeders, skipping feeders whose input channel already sent.
-	for _, tl := range e.activeLinks {
-		req := e.feeders[tl]
-		link := &fab.Links[tl]
-		n := len(req)
-		start := int(link.RR()) % n
-		for k := 0; k < n; k++ {
-			u := req[(start+k)%n]
-			uv := &vcs[u]
-			if e.flitsAtStart[u] == 0 {
-				continue // flit arrived only this cycle; forward next cycle
-			}
-			if e.flitsAtStart[uv.Next] >= int32(fab.Cfg.BufFlits) {
-				continue // no credit at the target buffer
-			}
-			in := uv.Link
-			if e.inputUsedAt[in] == e.now {
-				continue // crossbar input port already used this cycle
-			}
-			e.moveFlit(u)
-			e.inputUsedAt[in] = e.now
-			e.transmitted[tl] = true
-			e.txLinks = append(e.txLinks, tl)
-			link.AdvanceRR()
-			break
-		}
-		e.feeders[tl] = req[:0]
-	}
-}
-
-// moveFlit performs one flit movement and the associated message and
-// detection bookkeeping.
-func (e *Engine) moveFlit(u router.VCID) {
-	fab := e.fab
-	occ := fab.VCs[u].Occupant
-	next := fab.VCs[u].Next
-	m := fab.Msg(occ)
-	header, tail := fab.MoveFlit(u)
-	if header {
-		m.HeadVC = next
-		if fab.Links[fab.LinkOfVC(next)].Kind != router.DeliveryLink &&
-			m.Phase == router.PhaseNetwork {
-			// The header reached a new router: it must route again, one
-			// cycle from now.
-			m.Attempts = 0
-			e.pendingNew = append(e.pendingNew, m.ID)
-		}
-	}
-	if tail {
-		m.TailVC = next
-		l := fab.LinkOfVC(u)
-		e.tr.Emit(trace.KindVCFree, occ, l, -1, 0, int32(u))
-		e.det.VCFreed(l)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 4: delivery ports drain one flit per cycle into the local node.
-
-func (e *Engine) drainDelivery() {
-	fab := e.fab
-	for _, id := range e.deliveryVCs {
-		vc := &fab.VCs[id]
-		if vc.Occupant == router.NilMsg || vc.Flits == 0 {
-			continue
-		}
-		m := fab.Msg(vc.Occupant)
-		tail := vc.HasTail && vc.Flits == 1
-		vc.Flits--
-		m.Consumed++
-		if vc.HasHeader {
-			vc.HasHeader = false
-			m.HeadVC = router.NilVC
-		}
-		if !tail {
-			continue
-		}
-		fab.ReleaseEmptyVC(id)
-		m.TailVC = router.NilVC
-		e.deliver(m)
-	}
 }
 
 // deliver finalizes a message whose tail has been consumed at its
@@ -605,11 +490,35 @@ func (e *Engine) deliver(m *router.Message) {
 
 // ---------------------------------------------------------------------------
 // Stage 5: routing of waiting headers (detection piggybacks on failures).
+//
+// Candidate computation — the geometry-heavy part — runs in parallel
+// (routeCandsShard); the commit below runs serially because VC allocation,
+// selection randomness, detector transitions and recovery must interleave in
+// pending order. Staleness is re-checked live: a mark earlier in the commit
+// can trigger recovery that releases a later message's worm. The precomputed
+// candidate sets stay valid across commits because candidates depend only on
+// topology, the failure map and the destination, never on occupancy; PickVC
+// re-checks VC occupancy live.
 
-func (e *Engine) route() {
+// prepareRouteCands sizes the flat candidate arena for this cycle's pending
+// list. Growth is amortized; in steady state the arena is only re-sliced.
+func (e *Engine) prepareRouteCands() {
+	need := len(e.pending) * e.candStride
+	if cap(e.routeCands) < need {
+		e.routeCands = make([]router.VCID, need)
+	}
+	e.routeCands = e.routeCands[:need]
+	if cap(e.routeCandsLen) < len(e.pending) {
+		e.routeCandsLen = make([]int32, len(e.pending))
+	}
+	e.routeCandsLen = e.routeCandsLen[:len(e.pending)]
+}
+
+func (e *Engine) routeCommit() {
 	fab := e.fab
+	stride := e.candStride
 	kept := e.pending[:0]
-	for _, id := range e.pending {
+	for i, id := range e.pending {
 		m := fab.Msg(id)
 		if m.Phase != router.PhaseNetwork || m.HeadVC == router.NilVC {
 			continue // delivered, recovering or aborted meanwhile
@@ -626,8 +535,11 @@ func (e *Engine) route() {
 		}
 		in := fab.LinkOfVC(m.HeadVC)
 		node := fab.RouterOf(in)
-		e.vcCandBuf = e.alg.Candidates(fab, m, node, e.vcCandBuf[:0])
-		out := fab.PickVC(e.vcCandBuf, e.cfg.Select, e.rnd)
+		// Staleness only ever increases during the commit, so an entry that
+		// is live here was live in the parallel phase and owns a computed
+		// candidate set.
+		cands := e.routeCands[i*stride : i*stride+int(e.routeCandsLen[i])]
+		out := fab.PickVC(cands, e.cfg.Select, e.rnd)
 		if out != router.NilVC {
 			fab.Allocate(m, m.HeadVC, out)
 			m.Attempts = 0
@@ -653,7 +565,7 @@ func (e *Engine) route() {
 		// hardware (candidate VCs are grouped by link, so deduplicate
 		// consecutively).
 		e.candBuf = e.candBuf[:0]
-		for _, vc := range e.vcCandBuf {
+		for _, vc := range cands {
 			l := fab.LinkOfVC(vc)
 			if len(e.candBuf) == 0 || e.candBuf[len(e.candBuf)-1] != l {
 				e.candBuf = append(e.candBuf, l)
@@ -747,47 +659,6 @@ func (e *Engine) clearOracleSeen(id router.MsgID) {
 	if int(id) < len(e.oracleSeen) {
 		e.oracleSeen[id] = -1
 	}
-}
-
-// ---------------------------------------------------------------------------
-// Stage 6: sources push flits of admitted messages into injection buffers.
-
-func (e *Engine) feedSources() {
-	fab := e.fab
-	kept := e.injecting[:0]
-	for _, id := range e.injecting {
-		m := fab.Msg(id)
-		if m.Phase == router.PhaseDelivered || m.Phase == router.PhaseAborted ||
-			m.Phase == router.PhaseQueued {
-			continue // recovered or delivered while still on the list
-		}
-		if m.Injected >= m.Length {
-			continue // tail already in the network
-		}
-		l := m.InjLink
-		vc := fab.VCOf(l, 0)
-		if vc.Occupant != m.ID {
-			// The injection VC was released (regressive recovery); drop.
-			continue
-		}
-		if vc.Flits < int32(fab.Cfg.BufFlits) {
-			first := m.Injected == 0
-			m.Injected++
-			vc.Flits++
-			m.LastSourceFlit = e.now
-			if first {
-				vc.HasHeader = true
-				e.pendingNew = append(e.pendingNew, m.ID)
-			}
-			if m.Injected == m.Length {
-				vc.HasTail = true
-			}
-		}
-		if m.Injected < m.Length {
-			kept = append(kept, id)
-		}
-	}
-	e.injecting = kept
 }
 
 // ---------------------------------------------------------------------------

@@ -427,3 +427,74 @@ func TestStatsAccessors(t *testing.T) {
 		t.Error("empty detector name")
 	}
 }
+
+// TestInjectMessageRespectsQueueCap: manual injection must honor the same
+// MaxSourceQueue bound that paces the workload generator — a full source
+// queue rejects the message instead of growing without limit.
+func TestInjectMessageRespectsQueueCap(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Load = 0 // the workload generates nothing; only manual injections
+	cfg.MaxSourceQueue = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if e.InjectMessage(0, 5, 4) == nil {
+			t.Fatalf("injection %d rejected below the cap", i)
+		}
+	}
+	if e.InjectMessage(0, 5, 4) != nil {
+		t.Fatal("injection accepted with the source queue at MaxSourceQueue")
+	}
+	if got := e.queues[0].Len(); got != 4 {
+		t.Fatalf("source queue holds %d messages, want 4", got)
+	}
+	// The cap is per node: a different source still accepts.
+	if e.InjectMessage(1, 5, 4) == nil {
+		t.Fatal("full queue on node 0 rejected an injection at node 1")
+	}
+	// Draining the queue reopens the source.
+	for i := 0; i < 40 && e.queues[0].Len() == 4; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.InjectMessage(0, 5, 4) == nil {
+		t.Fatal("injection still rejected after the queue drained")
+	}
+}
+
+// TestCyclesCountMeasuredSteps: Stats().Cycles must report the cycles the
+// engine actually spent in the measurement phase, not the configured window
+// — a manually stepped run that stops early reports only what it measured.
+func TestCyclesCountMeasuredSteps(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warmup, cfg.Measure = 100, 400
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().Cycles; got != 0 {
+		t.Fatalf("Cycles = %d during warm-up, want 0", got)
+	}
+	for i := 0; i < 200; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().Cycles; got != 150 {
+		t.Fatalf("Cycles = %d after 250 steps with 100 warm-up, want 150", got)
+	}
+	// A full Run still reports exactly the configured window, and stepping
+	// past it does not inflate the count.
+	res := mustRun(t, cfg)
+	if res.Cycles != cfg.Measure {
+		t.Fatalf("full run measured %d cycles, want %d", res.Cycles, cfg.Measure)
+	}
+}

@@ -28,28 +28,30 @@ func (e *Engine) ProbeMetrics(s *metrics.Sample) {
 	s.Blocked = int32(blocked)
 
 	fab := e.fab
-	s.BusyVCs = int32(len(fab.Occupied()))
-	s.BusyLinks = int32(len(fab.BusyLinks()))
+	s.BusyVCs = int32(fab.NumOccupied())
+	s.BusyLinks = int32(fab.NumBusyLinks())
 	var netVCs, injVCs, delVCs int32
-	for _, vc := range fab.Occupied() {
-		link := &fab.Links[fab.LinkOfVC(vc)]
-		switch link.Kind {
-		case router.NetworkLink:
-			netVCs++
-			if d := link.Dir.Dim(); d < len(s.DimVCs) {
-				s.DimVCs[d]++
+	for sh := 0; sh < fab.NumShards(); sh++ {
+		for _, vc := range fab.OccupiedShard(sh) {
+			link := &fab.Links[fab.LinkOfVC(vc)]
+			switch link.Kind {
+			case router.NetworkLink:
+				netVCs++
+				if d := link.Dir.Dim(); d < len(s.DimVCs) {
+					s.DimVCs[d]++
+				}
+			case router.InjectionLink:
+				injVCs++
+			default:
+				delVCs++
 			}
-		case router.InjectionLink:
-			injVCs++
-		default:
-			delVCs++
 		}
-	}
-	for _, l := range fab.BusyLinks() {
-		link := &fab.Links[l]
-		if link.Kind == router.NetworkLink {
-			if d := link.Dir.Dim(); d < len(s.DimLinks) {
-				s.DimLinks[d]++
+		for _, l := range fab.BusyLinksShard(sh) {
+			link := &fab.Links[l]
+			if link.Kind == router.NetworkLink {
+				if d := link.Dir.Dim(); d < len(s.DimLinks) {
+					s.DimLinks[d]++
+				}
 			}
 		}
 	}

@@ -1,0 +1,521 @@
+package sim
+
+import (
+	"slices"
+	"sync"
+
+	"wormnet/internal/metrics"
+	"wormnet/internal/router"
+	"wormnet/internal/trace"
+)
+
+// Sharded execution of one simulation cycle.
+//
+// The torus is split into Shards contiguous node blocks (topology.Partition)
+// and every per-cycle stage runs as a two-phase barrier step: phase A
+// computes decisions for each shard against previous-phase state without
+// mutating anything another shard may read, phase B commits them. Stages
+// whose side effects must interleave in one global order (message-pool
+// allocation, trace emission, statistics, detector G/P transitions, the
+// recovery engine) replay per-shard record lists on the serial spine between
+// phases, concatenated in shard order.
+//
+// Ownership rules (see DESIGN.md §11):
+//
+//   - A link and its VCs are owned by the shard of Links[l].Dst — the router
+//     at whose input the buffers sit. Occupancy structures are sharded the
+//     same way (router.Fabric.SetPartition), so allocation and release are
+//     shard-local.
+//   - Arbitration state of an output link (round-robin pointer, transmitted
+//     bitmap entry, txLinks membership) is owned by the shard of Links[l].Src:
+//     all feeder VCs of an output link are input VCs at router Src, so the
+//     arbitrating shard is the one that owns every feeder.
+//   - Cross-shard flit arrivals (a winner whose target VC is owned by another
+//     shard) are deferred as boundary moves and committed serially.
+//
+// Determinism: every phase iterates its shard's nodes in ascending order and
+// canonicalizes any fabric-derived set it consumes (feeder lists are sorted;
+// occupancy lists are only used as unordered sets). The shard-order
+// concatenation of per-shard record lists is therefore the global
+// node-ascending sequence regardless of the shard count, which is what makes
+// results byte-identical for every value of Config.Shards.
+
+// phaseID enumerates the parallel phases of one cycle. An int dispatch (not
+// closures) keeps the single-shard path allocation-free.
+type phaseID uint8
+
+const (
+	phaseGenerate phaseID = iota
+	phaseAdmit
+	phaseTransferA
+	phaseTransferB
+	phaseDrain
+	phaseDetect
+	phaseRouteCands
+	phaseFeed
+)
+
+// genRec is one generation decision awaiting serial commit.
+type genRec struct {
+	node, dst, length int32
+}
+
+// admitRec is one completed admission awaiting serial trace/counter replay.
+type admitRec struct {
+	id   router.MsgID
+	link router.LinkID
+	vc   router.VCID
+	node int32
+}
+
+// freeRec is one VC release performed by a shard's transfer commit, awaiting
+// serial trace emission and detector notification.
+type freeRec struct {
+	msg  router.MsgID
+	link router.LinkID
+	vc   router.VCID
+}
+
+// boundaryMove is the destination half of a flit transfer whose target VC is
+// owned by another shard; it is applied on the serial spine.
+type boundaryMove struct {
+	v            router.VCID
+	header, tail bool
+}
+
+// shardState is the per-shard slice of engine state plus the record lists
+// one cycle's phases fill and the serial spine drains. All slices are
+// retained and re-sliced to length zero each cycle, so steady-state
+// operation does not allocate.
+type shardState struct {
+	lo, hi int // node range [lo, hi)
+
+	gens      []genRec        // generate:  decisions for serial commit
+	admits    []admitRec      // admit:     trace/counter replay records
+	moves     []router.VCID   // transferA: winning source VCs, decision order
+	bmoves    []boundaryMove  // transferB: deferred cross-shard arrivals
+	frees     []freeRec       // transferB: VC releases for serial replay
+	arrivals  []router.MsgID  // transferB: headers that reached a new router
+	delivered []router.MsgID  // drain:     tails consumed at destination
+	txLinks   []router.LinkID // transferA: links transmitted this cycle (Src-owned)
+	injecting []router.MsgID  // persistent: messages this shard is injecting
+	fed       []router.MsgID  // feed:      first flits fed this cycle
+}
+
+// runPhase executes one phase across all shards: inline when there is a
+// single shard (the default — no goroutines, no allocation), fork-join
+// otherwise. Shard 0 runs on the calling goroutine.
+func (e *Engine) runPhase(ph phaseID) {
+	if len(e.shards) == 1 {
+		e.runShardPhase(ph, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(e.shards) - 1)
+	for s := 1; s < len(e.shards); s++ {
+		go func(s int) {
+			defer wg.Done()
+			e.runShardPhase(ph, s)
+		}(s)
+	}
+	e.runShardPhase(ph, 0)
+	wg.Wait()
+}
+
+func (e *Engine) runShardPhase(ph phaseID, s int) {
+	switch ph {
+	case phaseGenerate:
+		e.generateShard(s)
+	case phaseAdmit:
+		e.admitShard(s)
+	case phaseTransferA:
+		e.transferDecide(s)
+	case phaseTransferB:
+		e.transferCommit(s)
+	case phaseDrain:
+		e.drainShard(s)
+	case phaseDetect:
+		e.detShard.EndCycleShard(s, e.now, e.transmitted)
+	case phaseRouteCands:
+		e.routeCandsShard(s)
+	case phaseFeed:
+		e.feedShard(s)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: message generation.
+//
+// Phase A: each node draws from its own per-node RNG stream (so the draw
+// sequence is independent of the shard count) against the pre-cycle queue
+// depths; the only mutation is the node's own stream and, for stateful
+// processes, per-source process state. Serial commit: allocate the messages
+// from the shared pool in node-ascending order (canonical MsgID assignment)
+// and push them onto the source queues.
+
+func (e *Engine) generateShard(s int) {
+	sh := &e.shards[s]
+	sh.gens = sh.gens[:0]
+	max := e.cfg.MaxSourceQueue
+	for node := sh.lo; node < sh.hi; node++ {
+		if e.queues[node].Len() >= max {
+			// Source queue full: generation pauses at this node (offered
+			// load is capped, which is inevitable beyond saturation).
+			continue
+		}
+		dst, length, ok := e.gen.Next(node, &e.nodeRng[node])
+		if !ok {
+			continue
+		}
+		sh.gens = append(sh.gens, genRec{node: int32(node), dst: int32(dst), length: int32(length)})
+	}
+}
+
+func (e *Engine) commitGenerate() {
+	for s := range e.shards {
+		for _, g := range e.shards[s].gens {
+			m := e.fab.NewMessage(int(g.node), int(g.dst), int(g.length), e.now)
+			m.Phase = router.PhaseQueued
+			e.queues[g.node].Push(m.ID)
+			e.mc.Inc(metrics.MGenerated)
+			if e.measuring {
+				e.st.Generated++
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: injection admission (with the injection-limitation mechanism).
+//
+// The fabric commit (allocating the injection VC) runs in the parallel
+// phase: injection links are owned by their node's shard, and the
+// cross-shard reads the phase performs — the busy counts of the node's
+// network output links for the injection-limitation check — are stable
+// during the phase, since admission only ever allocates injection VCs.
+// Trace emission and counters replay serially in node order.
+
+func (e *Engine) admitShard(s int) {
+	sh := &e.shards[s]
+	sh.admits = sh.admits[:0]
+	fab := e.fab
+	limit := e.cfg.InjectionLimit
+	for node := sh.lo; node < sh.hi; node++ {
+		q := &e.queues[node]
+		if q.Len() == 0 {
+			continue
+		}
+		// The injection-limitation check must be re-evaluated per admission,
+		// not once per node: a router with several injection ports would
+		// otherwise admit up to InjPorts messages in the cycle the busy
+		// count is still at the threshold, overshooting the limit. Each
+		// message admitted this cycle will occupy a network output VC before
+		// the count is observed again, so it is charged immediately.
+		busy := 0
+		if limit >= 0 {
+			busy = fab.BusyNetOutputVCs(node)
+		}
+		for p := 0; p < e.cfg.Router.InjPorts && q.Len() > 0; p++ {
+			if limit >= 0 && busy > limit {
+				break
+			}
+			l := fab.InjLink(node, p)
+			vc := fab.FreeVC(l)
+			if vc == router.NilVC {
+				continue
+			}
+			m := fab.Msg(q.Pop())
+			busy++
+			m.Phase = router.PhaseNetwork
+			m.InjLink = l
+			m.InjectTime = e.now
+			m.LastSourceFlit = e.now
+			fab.Allocate(m, router.NilVC, vc)
+			m.HeadVC = vc
+			sh.injecting = append(sh.injecting, m.ID)
+			sh.admits = append(sh.admits, admitRec{id: m.ID, link: l, vc: vc, node: int32(node)})
+		}
+	}
+}
+
+func (e *Engine) commitAdmit() {
+	for s := range e.shards {
+		for _, a := range e.shards[s].admits {
+			m := e.fab.Msg(a.id)
+			e.tr.Emit(trace.KindInject, a.id, a.link, a.node, int64(m.Length), int32(m.Dst))
+			e.tr.Emit(trace.KindVCAlloc, a.id, a.link, a.node, 0, int32(a.vc))
+			e.mc.Inc(metrics.MInjected)
+			if e.measuring {
+				e.st.Injected++
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: flit transfer (crossbar + channel).
+//
+// Phase A (transferDecide) arbitrates every output link of the shard's
+// routers against pre-cycle state: nothing is mutated except the shard's own
+// arbitration state (round-robin pointers, crossbar-port stamps, transmitted
+// bits), so reads of remote buffer occupancy are race-free. Phase B
+// (transferCommit) applies the decided moves: the source half is always
+// shard-local (feeders are input VCs at the arbitrating router); the
+// destination half is applied inline when the target VC is shard-local and
+// deferred as a boundary move otherwise. Constraints, as before: at most one
+// flit crosses each physical channel per cycle, and at most one flit leaves
+// each input physical channel per cycle (the crossbar port).
+
+func (e *Engine) transferDecide(s int) {
+	sh := &e.shards[s]
+	fab := e.fab
+	vcs := fab.VCs
+	// Clear this shard's transmitted bits from the previous cycle.
+	for _, l := range sh.txLinks {
+		e.transmitted[l] = false
+	}
+	sh.txLinks = sh.txLinks[:0]
+	sh.moves = sh.moves[:0]
+	// Bucket transfer requests by target physical channel. Every feeder is
+	// an input VC at one of this shard's routers, so scanning the shard's
+	// occupied VCs covers exactly the output links this shard arbitrates.
+	for _, i := range fab.OccupiedShard(s) {
+		if vcs[i].Flits > 0 && vcs[i].Next != router.NilVC {
+			tl := vcs[vcs[i].Next].Link
+			e.feeders[tl] = append(e.feeders[tl], i)
+		}
+	}
+	// Arbitrate in canonical order: routers ascending, network output links
+	// before delivery ports, each in port order. One winner per channel,
+	// round-robin over the (sorted) feeders, skipping feeders whose input
+	// channel already sent this cycle.
+	deg := e.topo.Degree()
+	dp := e.cfg.Router.DelPorts
+	buf := int32(fab.Cfg.BufFlits)
+	for node := sh.lo; node < sh.hi; node++ {
+		for k := 0; k < deg+dp; k++ {
+			var tl router.LinkID
+			if k < deg {
+				tl = router.LinkID(node*deg + k)
+			} else {
+				tl = fab.DelLink(node, k-deg)
+			}
+			req := e.feeders[tl]
+			if len(req) == 0 {
+				continue
+			}
+			slices.Sort(req)
+			link := &fab.Links[tl]
+			n := len(req)
+			start := int(link.RR()) % n
+			for j := 0; j < n; j++ {
+				u := req[(start+j)%n]
+				uv := &vcs[u]
+				if vcs[uv.Next].Flits >= buf {
+					continue // no credit at the target buffer
+				}
+				in := uv.Link
+				if e.inputUsedAt[in] == e.now {
+					continue // crossbar input port already used this cycle
+				}
+				sh.moves = append(sh.moves, u)
+				e.inputUsedAt[in] = e.now
+				e.transmitted[tl] = true
+				sh.txLinks = append(sh.txLinks, tl)
+				link.AdvanceRR()
+				break
+			}
+			e.feeders[tl] = req[:0]
+		}
+	}
+}
+
+func (e *Engine) transferCommit(s int) {
+	sh := &e.shards[s]
+	fab := e.fab
+	sh.bmoves = sh.bmoves[:0]
+	sh.frees = sh.frees[:0]
+	sh.arrivals = sh.arrivals[:0]
+	for _, u := range sh.moves {
+		occ := fab.VCs[u].Occupant
+		m := fab.Msg(occ)
+		v, header, tail := fab.MoveFlitSrc(u)
+		if header {
+			m.HeadVC = v
+			if fab.Links[fab.LinkOfVC(v)].Kind != router.DeliveryLink &&
+				m.Phase == router.PhaseNetwork {
+				// The header reached a new router: it must route again, one
+				// cycle from now.
+				m.Attempts = 0
+				sh.arrivals = append(sh.arrivals, m.ID)
+			}
+		}
+		if tail {
+			m.TailVC = v
+			sh.frees = append(sh.frees, freeRec{msg: occ, link: fab.LinkOfVC(u), vc: u})
+		}
+		if fab.ShardOfLink(fab.LinkOfVC(v)) == s {
+			fab.MoveFlitDst(v, header, tail)
+		} else {
+			sh.bmoves = append(sh.bmoves, boundaryMove{v: v, header: header, tail: tail})
+		}
+	}
+}
+
+func (e *Engine) commitTransfer() {
+	fab := e.fab
+	for s := range e.shards {
+		for _, bm := range e.shards[s].bmoves {
+			fab.MoveFlitDst(bm.v, bm.header, bm.tail)
+		}
+	}
+	for s := range e.shards {
+		sh := &e.shards[s]
+		for _, fr := range sh.frees {
+			e.tr.Emit(trace.KindVCFree, fr.msg, fr.link, -1, 0, int32(fr.vc))
+			e.det.VCFreed(fr.link)
+		}
+		e.pendingNew = append(e.pendingNew, sh.arrivals...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: delivery ports drain one flit per cycle into the local node.
+//
+// Delivery VCs are owned by their node's shard, so flit consumption and VC
+// release run in the parallel phase; message finalization (histograms,
+// counters, trace, pool recycling) replays serially in node order — the same
+// order the serial engine used, since the delivery VC list is node-ascending
+// by construction.
+
+func (e *Engine) drainShard(s int) {
+	sh := &e.shards[s]
+	sh.delivered = sh.delivered[:0]
+	fab := e.fab
+	dp := e.cfg.Router.DelPorts
+	for _, id := range e.deliveryVCs[sh.lo*dp : sh.hi*dp] {
+		vc := &fab.VCs[id]
+		if vc.Occupant == router.NilMsg || vc.Flits == 0 {
+			continue
+		}
+		m := fab.Msg(vc.Occupant)
+		tail := vc.HasTail && vc.Flits == 1
+		vc.Flits--
+		m.Consumed++
+		if vc.HasHeader {
+			vc.HasHeader = false
+			m.HeadVC = router.NilVC
+		}
+		if !tail {
+			continue
+		}
+		fab.ReleaseEmptyVC(id)
+		m.TailVC = router.NilVC
+		sh.delivered = append(sh.delivered, m.ID)
+	}
+}
+
+func (e *Engine) commitDelivery() {
+	for s := range e.shards {
+		for _, id := range e.shards[s].delivered {
+			e.deliver(e.fab.Msg(id))
+		}
+	}
+}
+
+// mergeTxLinks concatenates the per-shard transmitted-link lists in shard
+// order — the canonical Src-node-ascending sequence — for the detectors'
+// EndCycle. With a single shard the list is used directly.
+func (e *Engine) mergeTxLinks() {
+	if len(e.shards) == 1 {
+		e.txLinks = e.shards[0].txLinks
+		return
+	}
+	e.txLinks = e.txLinks[:0]
+	for s := range e.shards {
+		e.txLinks = append(e.txLinks, e.shards[s].txLinks...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 5 (parallel half): routing candidate precomputation.
+//
+// Candidate sets depend only on the topology, the failure map and the
+// message's destination — never on occupancy — so they can be computed
+// against frozen state and stay valid while the serial commit allocates VCs
+// one message at a time. Pending entries are striped across shards by index;
+// each entry owns a fixed stride of the flat candidate arena.
+
+func (e *Engine) routeCandsShard(s int) {
+	fab := e.fab
+	stride := e.candStride
+	for i := s; i < len(e.pending); i += len(e.shards) {
+		e.routeCandsLen[i] = -1
+		m := fab.Msg(e.pending[i])
+		if m.Phase != router.PhaseNetwork || m.HeadVC == router.NilVC {
+			continue // delivered, recovering or aborted meanwhile
+		}
+		hv := &fab.VCs[m.HeadVC]
+		if !hv.HasHeader || hv.Next != router.NilVC || hv.Flits == 0 {
+			continue // stale entry, or header flit not yet arrived
+		}
+		node := fab.RouterOf(fab.LinkOfVC(m.HeadVC))
+		buf := e.routeCands[i*stride : i*stride : (i+1)*stride]
+		e.routeCandsLen[i] = int32(len(e.alg.Candidates(fab, m, node, buf)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 6 (parallel): sources push flits of admitted messages into injection
+// buffers. Injection VCs and the messages being fed are owned by the
+// admitting shard. First flits are recorded for the serial pendingNew merge:
+// a message's first feed always happens in its admission cycle (the
+// injection buffer is empty and at least one flit deep), so the fed list is
+// exactly this cycle's admissions in node-ascending order and the shard
+// concatenation is canonical.
+
+func (e *Engine) feedShard(s int) {
+	sh := &e.shards[s]
+	sh.fed = sh.fed[:0]
+	fab := e.fab
+	kept := sh.injecting[:0]
+	for _, id := range sh.injecting {
+		m := fab.Msg(id)
+		if m.Phase == router.PhaseDelivered || m.Phase == router.PhaseAborted ||
+			m.Phase == router.PhaseQueued {
+			continue // recovered or delivered while still on the list
+		}
+		if m.Injected >= m.Length {
+			continue // tail already in the network
+		}
+		l := m.InjLink
+		vc := fab.VCOf(l, 0)
+		if vc.Occupant != m.ID {
+			// The injection VC was released (regressive recovery); drop.
+			continue
+		}
+		if vc.Flits < int32(fab.Cfg.BufFlits) {
+			first := m.Injected == 0
+			m.Injected++
+			vc.Flits++
+			m.LastSourceFlit = e.now
+			if first {
+				vc.HasHeader = true
+				sh.fed = append(sh.fed, m.ID)
+			}
+			if m.Injected == m.Length {
+				vc.HasTail = true
+			}
+		}
+		if m.Injected < m.Length {
+			kept = append(kept, id)
+		}
+	}
+	sh.injecting = kept
+}
+
+func (e *Engine) commitFeed() {
+	for s := range e.shards {
+		e.pendingNew = append(e.pendingNew, e.shards[s].fed...)
+	}
+}

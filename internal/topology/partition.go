@@ -1,0 +1,82 @@
+package topology
+
+import "fmt"
+
+// Partition splits the node ID space [0, nodes) into contiguous blocks, one
+// per shard. Shards are as equal as integer division allows: the first
+// nodes%shards shards hold one extra node. Contiguity is what makes sharded
+// stepping order-invariant: the canonical serial algorithm visits nodes in
+// ascending ID order, so concatenating per-shard results in shard order
+// reproduces the exact serial sequence for any shard count.
+type Partition struct {
+	nodes  int
+	shards int
+	base   int // minimum block size: nodes / shards
+	rem    int // the first rem shards hold base+1 nodes
+}
+
+// NewPartition builds a partition of [0, nodes) into shards contiguous
+// blocks. It panics unless 1 <= shards <= nodes; callers validate
+// user-supplied shard counts before reaching here.
+func NewPartition(nodes, shards int) Partition {
+	if nodes < 1 {
+		panic(fmt.Sprintf("topology: partition of %d nodes", nodes))
+	}
+	if shards < 1 || shards > nodes {
+		panic(fmt.Sprintf("topology: %d shards for %d nodes (want 1..%d)", shards, nodes, nodes))
+	}
+	return Partition{nodes: nodes, shards: shards, base: nodes / shards, rem: nodes % shards}
+}
+
+// Nodes returns the size of the partitioned ID space.
+func (p Partition) Nodes() int { return p.nodes }
+
+// Shards returns the number of blocks.
+func (p Partition) Shards() int { return p.shards }
+
+// Range returns shard s's half-open node range [lo, hi).
+func (p Partition) Range(s int) (lo, hi int) {
+	if s < p.rem {
+		lo = s * (p.base + 1)
+		return lo, lo + p.base + 1
+	}
+	lo = p.rem*(p.base+1) + (s-p.rem)*p.base
+	return lo, lo + p.base
+}
+
+// Of returns the shard owning node. O(1): the first rem shards occupy the
+// prefix [0, rem*(base+1)), the rest follow in base-sized blocks.
+func (p Partition) Of(node int) int {
+	split := p.rem * (p.base + 1)
+	if node < split {
+		return node / (p.base + 1)
+	}
+	return p.rem + (node-split)/p.base
+}
+
+// BoundaryLink identifies one directed network channel that leaves a shard:
+// the output channel of Node in direction Dir whose downstream router
+// belongs to a different shard. Flits decided across such channels in phase
+// A must be committed by the destination shard (or the barrier's serial
+// merge) in phase B.
+type BoundaryLink struct {
+	Node int
+	Dir  Direction
+}
+
+// Boundary appends shard s's outgoing boundary channels on torus t to buf in
+// ascending (node, direction) order and returns the extended slice. The
+// ordering is canonical: it matches the order in which the sharded engine's
+// phase A scans its routers, so boundary commits replayed from this
+// enumeration are deterministic.
+func (p Partition) Boundary(t *Torus, s int, buf []BoundaryLink) []BoundaryLink {
+	lo, hi := p.Range(s)
+	for node := lo; node < hi; node++ {
+		for d := 0; d < t.Degree(); d++ {
+			if p.Of(t.Neighbor(node, Direction(d))) != s {
+				buf = append(buf, BoundaryLink{Node: node, Dir: Direction(d)})
+			}
+		}
+	}
+	return buf
+}

@@ -1,0 +1,96 @@
+package topology
+
+import "testing"
+
+func TestPartitionCoverageAndBalance(t *testing.T) {
+	for _, nodes := range []int{1, 2, 7, 16, 64, 81} {
+		for shards := 1; shards <= nodes && shards <= 12; shards++ {
+			p := NewPartition(nodes, shards)
+			covered := 0
+			prevHi := 0
+			for s := 0; s < shards; s++ {
+				lo, hi := p.Range(s)
+				if lo != prevHi {
+					t.Fatalf("nodes=%d shards=%d: shard %d starts at %d, want %d (contiguity)",
+						nodes, shards, s, lo, prevHi)
+				}
+				size := hi - lo
+				if size != nodes/shards && size != nodes/shards+1 {
+					t.Fatalf("nodes=%d shards=%d: shard %d size %d not balanced", nodes, shards, s, size)
+				}
+				covered += size
+				prevHi = hi
+			}
+			if covered != nodes || prevHi != nodes {
+				t.Fatalf("nodes=%d shards=%d: covered %d nodes ending at %d", nodes, shards, covered, prevHi)
+			}
+		}
+	}
+}
+
+func TestPartitionOfMatchesRange(t *testing.T) {
+	for _, nodes := range []int{1, 5, 16, 60, 128} {
+		for shards := 1; shards <= nodes && shards <= 11; shards++ {
+			p := NewPartition(nodes, shards)
+			for s := 0; s < shards; s++ {
+				lo, hi := p.Range(s)
+				for node := lo; node < hi; node++ {
+					if got := p.Of(node); got != s {
+						t.Fatalf("nodes=%d shards=%d: Of(%d)=%d, Range says %d", nodes, shards, node, got, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionPanicsOnBadShardCount(t *testing.T) {
+	for _, shards := range []int{0, -1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPartition(16, %d) did not panic", shards)
+				}
+			}()
+			NewPartition(16, shards)
+		}()
+	}
+}
+
+// TestPartitionBoundaryBruteForce checks the boundary enumeration against a
+// direct scan of every directed network channel on a 4-ary 2-cube.
+func TestPartitionBoundaryBruteForce(t *testing.T) {
+	tor := New(4, 2)
+	for _, shards := range []int{1, 2, 3, 4, 5, 16} {
+		p := NewPartition(tor.Nodes(), shards)
+		for s := 0; s < shards; s++ {
+			var want []BoundaryLink
+			for node := 0; node < tor.Nodes(); node++ {
+				if p.Of(node) != s {
+					continue
+				}
+				for d := 0; d < tor.Degree(); d++ {
+					if p.Of(tor.Neighbor(node, Direction(d))) != s {
+						want = append(want, BoundaryLink{Node: node, Dir: Direction(d)})
+					}
+				}
+			}
+			got := p.Boundary(tor, s, nil)
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d shard=%d: %d boundary links, want %d", shards, s, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d shard=%d: boundary[%d]=%+v, want %+v (canonical order)",
+						shards, s, i, got[i], want[i])
+				}
+			}
+		}
+		// A single shard has no boundary.
+		if shards == 1 {
+			if b := p.Boundary(tor, 0, nil); len(b) != 0 {
+				t.Fatalf("1 shard has %d boundary links, want 0", len(b))
+			}
+		}
+	}
+}

@@ -224,6 +224,14 @@ type Config struct {
 	Warmup, Measure int64
 	Seed            uint64
 
+	// Shards is the number of workers each cycle's work is partitioned
+	// over: the torus is split into that many contiguous node blocks,
+	// stepped concurrently under a deterministic two-phase cycle barrier.
+	// Results are byte-identical for every shard count (see DESIGN.md §11).
+	// Zero selects 1 (fully serial); the count must not exceed the node
+	// count.
+	Shards int
+
 	// OracleEvery > 0 additionally runs the global deadlock oracle every
 	// so many cycles to measure actual deadlock frequency.
 	OracleEvery int64
@@ -455,6 +463,7 @@ func (c Config) simConfig() (sim.Config, error) {
 	sc.Warmup, sc.Measure = c.Warmup, c.Measure
 	sc.OracleEvery = c.OracleEvery
 	sc.Seed = c.Seed
+	sc.Shards = c.Shards
 	return sc, nil
 }
 
@@ -621,7 +630,6 @@ func Observe(cfg Config, every int64, fn func(cycle int64, summary, heatmap stri
 			fn(eng.Now(), viz.Summarize(eng.Fabric()).String(), viz.Heatmap(eng.Fabric()))
 		}
 	}
-	eng.Stats().Cycles = sc.Measure
 	return &Result{
 		Metrics:      *eng.Stats(),
 		DetectorName: eng.Detector().Name(),
