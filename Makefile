@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke shard-smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards profile clean
+.PHONY: all build test race vet smoke shard-smoke sparse-smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards bench-sparse profile clean
 
 all: vet test
 
@@ -43,6 +43,22 @@ shard-smoke: build
 		-workers 1 -shards 4 -quiet -json > /tmp/wormnet-sharded.json
 	cmp /tmp/wormnet-serial.json /tmp/wormnet-sharded.json
 	@echo "shard-smoke: 4-shard sweep byte-identical to serial"
+
+# Sparse-kernel smoke: the activity-driven sparse cycle kernel (the
+# default) must be byte-identical to the dense reference kernel that
+# rescans the whole fabric every cycle — serial and sharded. This is the
+# sparse kernel's conformance contract (DESIGN.md §12).
+sparse-smoke: build
+	$(GO) build -o /tmp/wormnet-loadsweep ./cmd/loadsweep
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -quiet -json > /tmp/wormnet-sparse.json
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -dense-kernel -quiet -json > /tmp/wormnet-dense.json
+	cmp /tmp/wormnet-sparse.json /tmp/wormnet-dense.json
+	/tmp/wormnet-loadsweep -k 4 -n 2 -points 4 -warmup 500 -measure 2000 \
+		-workers 1 -dense-kernel -shards 4 -quiet -json > /tmp/wormnet-dense-sharded.json
+	cmp /tmp/wormnet-sparse.json /tmp/wormnet-dense-sharded.json
+	@echo "sparse-smoke: dense reference kernel byte-identical to sparse, serial and sharded"
 
 # Flight-recorder smoke: a saturated single-VC run must capture a decodable
 # event stream containing detection verdicts, and the bounded ring mode must
@@ -136,6 +152,17 @@ bench-shards:
 	$(GO) test -run NONE -bench 'EngineStepShards' -benchmem -benchtime 2s \
 		. | tee -a results/shard_scaling.txt
 
+# Sparse vs dense cycle-kernel wall-clock on a large 16-ary 3-cube
+# (4096 nodes), at light load (where the sparse kernel's advantage is the
+# idle fraction of the fabric) and at saturation (where it must stay
+# within a few percent of dense); writes results/sparse_kernel.txt.
+bench-sparse:
+	@echo "# Engine cycle: sparse (activity-driven) vs dense (full-rescan) kernel" > results/sparse_kernel.txt
+	@echo "# on a 16-ary 3-cube (4096 nodes); byte-identical output, wall-clock only." >> results/sparse_kernel.txt
+	@echo "# Generated on a machine with $$(nproc) CPU(s)." >> results/sparse_kernel.txt
+	$(GO) test -run NONE -bench 'EngineStepSparse' -benchmem -benchtime 2s \
+		. | tee -a results/sparse_kernel.txt
+
 # Three-way NDM/PDM/CMH detection shootout at a deadlock-prone operating
 # point; regenerates results/cmh_shootout.txt (detection-latency
 # histograms, true/false mark split, probe bandwidth). See EXPERIMENTS.md.
@@ -158,5 +185,6 @@ clean:
 		/tmp/wormnet-wormsim /tmp/wormnet-traceview /tmp/wormnet-events.jsonl \
 		/tmp/wormnet-ring.jsonl /tmp/wormnet-trace-summary.txt \
 		/tmp/wormnet-metricsview /tmp/wormnet-metrics.pid \
-		/tmp/wormnet-run.series.jsonl /tmp/wormnet-plain.json /tmp/wormnet-metered.json
+		/tmp/wormnet-run.series.jsonl /tmp/wormnet-plain.json /tmp/wormnet-metered.json \
+		/tmp/wormnet-sparse.json /tmp/wormnet-dense.json /tmp/wormnet-dense-sharded.json
 	rm -rf /tmp/wormnet-series

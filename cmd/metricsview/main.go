@@ -66,6 +66,9 @@ var fields = []field{
 	{"blocked", "blocked headers", false, gauge(func(s *metrics.Sample) int32 { return s.Blocked })},
 	{"busyVCs", "occupied virtual channels", false, gauge(func(s *metrics.Sample) int32 { return s.BusyVCs })},
 	{"busyLinks", "busy physical channels", false, gauge(func(s *metrics.Sample) int32 { return s.BusyLinks })},
+	{"nonemptyQueues", "nodes with waiting source queues", false, gauge(func(s *metrics.Sample) int32 { return s.NonemptyQueues })},
+	{"activeLinks", "links that carried a flit this cycle", false, gauge(func(s *metrics.Sample) int32 { return s.ActiveLinks })},
+	{"wormsInFlight", "worms between admission and delivery", false, gauge(func(s *metrics.Sample) int32 { return s.WormsInFlight })},
 	{"iFlags", "output channels with I set", false, gauge(func(s *metrics.Sample) int32 { return s.IFlags })},
 	{"dtFlags", "output channels with DT set", false, gauge(func(s *metrics.Sample) int32 { return s.DTFlags })},
 	{"gFlags", "input channels holding G", false, gauge(func(s *metrics.Sample) int32 { return s.GFlags })},

@@ -108,6 +108,13 @@ type Sample struct {
 	OracleSet      int32 `json:"oracleSet"`      // latest oracle deadlocked-set size
 	ProbesInFlight int32 `json:"probesInFlight"` // CMH probes traversing the fabric
 
+	// Sparse-kernel active-set gauges: the sizes of the structures the
+	// activity-driven cycle kernel iterates, i.e. how much work one cycle
+	// actually is.
+	NonemptyQueues int32 `json:"nonemptyQueues"` // nodes with a nonempty source queue
+	ActiveLinks    int32 `json:"activeLinks"`    // output links that carried a flit this cycle
+	WormsInFlight  int32 `json:"wormsInFlight"`  // messages admitted and not yet delivered/requeued
+
 	// Per-dimension occupancy of network physical channels. DimVCs[d] is
 	// the number of busy VCs on dimension-d network channels; DimLinks[d]
 	// counts the busy channels themselves.
@@ -163,6 +170,8 @@ type Collector struct {
 	gIFlags, gDTFlags, gGFlags              *Gauge
 	gRecoveryDepth, gOracleSet              *Gauge
 	gProbesInFlight                         *Gauge
+	gNonemptyQueues, gActiveLinks           *Gauge
+	gWormsInFlight                          *Gauge
 	dimVCs, dimLinks                        []*Gauge
 	classVCs                                [3]*Gauge // net, inj, del busy VCs
 
@@ -212,6 +221,9 @@ func NewCollector(opt Options) *Collector {
 	c.gRecoveryDepth = c.reg.Gauge("wormnet_recovery_depth", "Messages currently undergoing recovery.")
 	c.gOracleSet = c.reg.Gauge("wormnet_oracle_deadlocked", "Latest oracle deadlocked-set size.")
 	c.gProbesInFlight = c.reg.Gauge("wormnet_probes_in_flight", "CMH probes currently traversing the fabric.")
+	c.gNonemptyQueues = c.reg.Gauge("wormnet_nonempty_queues", "Nodes with a nonempty source queue.")
+	c.gActiveLinks = c.reg.Gauge("wormnet_active_links", "Output links that carried a flit in the sampled cycle.")
+	c.gWormsInFlight = c.reg.Gauge("wormnet_worms_in_flight", "Messages admitted into the network and not yet delivered or re-queued.")
 	c.latency = c.reg.Histogram("wormnet_latency_cycles",
 		"Generation-to-delivery latency of delivered messages.", ExpBounds(1<<14))
 	c.detDelay = c.reg.Histogram("wormnet_detect_delay_cycles",
@@ -357,6 +369,7 @@ func (c *Collector) takeSample(now int64, p Prober) {
 	s.IFlags, s.DTFlags, s.GFlags = 0, 0, 0
 	s.RecoveryDepth, s.OracleSet = 0, 0
 	s.ProbesInFlight = 0
+	s.NonemptyQueues, s.ActiveLinks, s.WormsInFlight = 0, 0, 0
 	s.DimVCs = s.DimVCs[:c.dims]
 	s.DimLinks = s.DimLinks[:c.dims]
 	for i := range s.DimVCs {
@@ -377,6 +390,9 @@ func (c *Collector) takeSample(now int64, p Prober) {
 	c.gRecoveryDepth.Set(int64(s.RecoveryDepth))
 	c.gOracleSet.Set(int64(s.OracleSet))
 	c.gProbesInFlight.Set(int64(s.ProbesInFlight))
+	c.gNonemptyQueues.Set(int64(s.NonemptyQueues))
+	c.gActiveLinks.Set(int64(s.ActiveLinks))
+	c.gWormsInFlight.Set(int64(s.WormsInFlight))
 	for d := 0; d < c.dims && d < len(c.dimVCs); d++ {
 		c.dimVCs[d].Set(int64(s.DimVCs[d]))
 		c.dimLinks[d].Set(int64(s.DimLinks[d]))
@@ -445,17 +461,18 @@ var seriesFields = []string{
 	"markedTrue", "markedFalse", "recovered", "reinjected",
 	"queued", "blocked", "busyVCs", "busyLinks",
 	"iFlags", "dtFlags", "gFlags", "recoveryDepth", "oracleSet",
-	"probesInFlight",
+	"probesInFlight", "nonemptyQueues", "activeLinks", "wormsInFlight",
 }
 
-func (s *Sample) fixedValues() [19]int64 {
-	return [19]int64{
+func (s *Sample) fixedValues() [22]int64 {
+	return [22]int64{
 		s.Cycle, s.Generated, s.Injected, s.Delivered, s.DeliveredFlit,
 		s.MarkedTrue, s.MarkedFalse, s.Recovered, s.Reinjected,
 		int64(s.Queued), int64(s.Blocked), int64(s.BusyVCs), int64(s.BusyLinks),
 		int64(s.IFlags), int64(s.DTFlags), int64(s.GFlags),
 		int64(s.RecoveryDepth), int64(s.OracleSet),
-		int64(s.ProbesInFlight),
+		int64(s.ProbesInFlight), int64(s.NonemptyQueues),
+		int64(s.ActiveLinks), int64(s.WormsInFlight),
 	}
 }
 

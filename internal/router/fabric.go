@@ -14,6 +14,7 @@ package router
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wormnet/internal/topology"
 )
@@ -182,6 +183,18 @@ type Fabric struct {
 	occIdx      []int32
 	busyLinks   [][]LinkID
 	busyLinkIdx []int32
+	// delOccBits[s] is shard s's occupied-delivery-VC bitmap (a subset of
+	// occupied[s], kept separately so the drain stage touches only delivery
+	// traffic). Delivery VCs are numbered contiguously in link order
+	// (node-major, port-minor) starting at firstDelVC, and a contiguous
+	// node partition owns a contiguous delivery range, so bit i of shard
+	// s's bitmap is delivery VC firstDelVC + delLo[s] + i. Word-ascending,
+	// bit-ascending iteration therefore yields VCID-ascending — canonical —
+	// order without sorting. Each shard's bitmap is a separate allocation,
+	// so concurrent shard workers never share a word.
+	delOccBits [][]uint64
+	delLo      []int32
+	firstDelVC VCID
 	// shardOf[l] is the shard owning link l; gens[s] is shard s's share of
 	// the structural generation counter.
 	shardOf []int32
@@ -281,6 +294,9 @@ func NewFabric(t *topology.Torus, cfg Config) (*Fabric, error) {
 	f.shardOf = make([]int32, total)
 	f.occupied = make([][]VCID, 1)
 	f.busyLinks = make([][]LinkID, 1)
+	f.firstDelVC = f.Links[f.delBase].FirstVC
+	f.delOccBits = [][]uint64{make([]uint64, (nodes*cfg.DelPorts+63)/64)}
+	f.delLo = []int32{0}
 	f.gens = make([]uint64, 1)
 	return f, nil
 }
@@ -301,6 +317,14 @@ func (f *Fabric) SetPartition(p topology.Partition) {
 	}
 	f.occupied = make([][]VCID, n)
 	f.busyLinks = make([][]LinkID, n)
+	f.delOccBits = make([][]uint64, n)
+	f.delLo = make([]int32, n)
+	dp := f.Cfg.DelPorts
+	for s := 0; s < n; s++ {
+		lo, hi := p.Range(s)
+		f.delLo[s] = int32(lo * dp)
+		f.delOccBits[s] = make([]uint64, ((hi-lo)*dp+63)/64)
+	}
 	f.gens = make([]uint64, n)
 }
 
@@ -359,6 +383,10 @@ func (f *Fabric) addOccupied(vc VCID) {
 	}
 	f.occIdx[vc] = int32(len(f.occupied[s]))
 	f.occupied[s] = append(f.occupied[s], vc)
+	if f.Links[l].Kind == DeliveryLink {
+		rel := int(vc-f.firstDelVC) - int(f.delLo[s])
+		f.delOccBits[s][rel>>6] |= 1 << (rel & 63)
+	}
 }
 
 // removeOccupied unregisters vc (swap-remove within its owner shard).
@@ -383,6 +411,10 @@ func (f *Fabric) removeOccupied(vc VCID) {
 	f.occIdx[last] = idx
 	f.occupied[s] = oc[:len(oc)-1]
 	f.occIdx[vc] = -1
+	if f.Links[l].Kind == DeliveryLink {
+		rel := int(vc-f.firstDelVC) - int(f.delLo[s])
+		f.delOccBits[s][rel>>6] &^= 1 << (rel & 63)
+	}
 }
 
 // OccupiedShard returns shard s's occupied virtual channels, in no
@@ -394,6 +426,17 @@ func (f *Fabric) OccupiedShard(s int) []VCID { return f.occupied[s] }
 // occupied VC, in no particular order, under the same ownership rules as
 // OccupiedShard.
 func (f *Fabric) BusyLinksShard(s int) []LinkID { return f.busyLinks[s] }
+
+// DeliveryOccBitsShard returns shard s's occupied-delivery-VC bitmap: bit i
+// is delivery VC DeliveryShardBase(s) + i. Word-ascending, bit-ascending
+// iteration yields VCID-ascending (canonical drain) order. The slice is
+// owned by the fabric under the same rules as OccupiedShard; releasing a
+// delivery VC of the shard clears its bit in place.
+func (f *Fabric) DeliveryOccBitsShard(s int) []uint64 { return f.delOccBits[s] }
+
+// DeliveryShardBase returns the VCID corresponding to bit 0 of shard s's
+// delivery-occupancy bitmap.
+func (f *Fabric) DeliveryShardBase(s int) VCID { return f.firstDelVC + VCID(f.delLo[s]) }
 
 // NumOccupied returns the total number of occupied virtual channels.
 func (f *Fabric) NumOccupied() int {
@@ -680,6 +723,9 @@ func (f *Fabric) CheckInvariants() error {
 			if f.occIdx[i] != -1 {
 				return fmt.Errorf("router: free VC %d still in occupied list", i)
 			}
+			if f.Links[f.VCs[i].Link].Kind == DeliveryLink && f.delOccBit(VCID(i)) {
+				return fmt.Errorf("router: free VC %d still set in delivery-occupancy bitmap", i)
+			}
 			continue
 		}
 		busy[vc.Link]++
@@ -687,6 +733,9 @@ func (f *Fabric) CheckInvariants() error {
 		idx := f.occIdx[i]
 		if idx < 0 || int(idx) >= len(f.occupied[s]) || f.occupied[s][idx] != VCID(i) {
 			return fmt.Errorf("router: occupied VC %d not tracked in shard %d (idx %d)", i, s, idx)
+		}
+		if f.Links[vc.Link].Kind == DeliveryLink && !f.delOccBit(VCID(i)) {
+			return fmt.Errorf("router: occupied delivery VC %d not set in shard %d's bitmap", i, s)
 		}
 		if vc.Flits < 0 || vc.Flits > int32(f.Cfg.BufFlits) {
 			return fmt.Errorf("router: VC %d flit count %d out of range", i, vc.Flits)
@@ -700,5 +749,25 @@ func (f *Fabric) CheckInvariants() error {
 			return fmt.Errorf("router: link %d busy count %d, recount %d", l, f.busy[l], busy[l])
 		}
 	}
+	delOcc := 0
+	for s := range f.delOccBits {
+		for _, w := range f.delOccBits[s] {
+			delOcc += bits.OnesCount64(w)
+		}
+	}
+	delBusy := 0
+	for l := f.delBase; l < f.delBase+f.Topo.Nodes()*f.Cfg.DelPorts; l++ {
+		delBusy += int(busy[l])
+	}
+	if delOcc != delBusy {
+		return fmt.Errorf("router: delivery-occupancy bitmaps track %d VCs, recount %d", delOcc, delBusy)
+	}
 	return nil
+}
+
+// delOccBit reports delivery VC vc's bit in its owner shard's bitmap.
+func (f *Fabric) delOccBit(vc VCID) bool {
+	s := f.shardOf[f.VCs[vc].Link]
+	rel := int(vc-f.firstDelVC) - int(f.delLo[s])
+	return f.delOccBits[s][rel>>6]&(1<<(rel&63)) != 0
 }

@@ -119,7 +119,18 @@ type Config struct {
 	// as the harness's SeriesDir option does.
 	Metrics *metrics.Collector
 
-	// Debug enables per-cycle fabric invariant checking (slow).
+	// DenseKernel selects the reference cycle kernel that scans the full
+	// fabric every cycle (all output links, all delivery VCs, all source
+	// queues, all generator countdowns) instead of the default sparse kernel
+	// that iterates only the active sets. Results are byte-identical either
+	// way — the sparse kernel is a pure iteration-order refactoring and both
+	// modes share the same skip-ahead generation stream — so this exists for
+	// equivalence testing and as a fallback while diagnosing kernel bugs.
+	DenseKernel bool
+
+	// Debug enables per-cycle fabric invariant checking and active-set
+	// auditing (slow): every sparse-kernel list is cross-checked against a
+	// full rescan each cycle.
 	Debug bool
 
 	// RetainMessages keeps delivered messages allocated instead of

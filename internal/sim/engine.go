@@ -106,6 +106,39 @@ type Engine struct {
 	nodeRng  []rng.Source
 	detShard detect.Sharded
 
+	// Persistent shard workers (multi-shard only): workerCh[i] feeds shard
+	// i+1's parked goroutine one phase per barrier step and workerDone fans
+	// completions back in, so the steady-state barrier costs two channel
+	// operations per worker instead of a goroutine spawn plus a WaitGroup.
+	// Started lazily by the first multi-shard runPhase; StopWorkers parks
+	// them for good (Run does this on exit).
+	workerCh   []chan phaseID
+	workerDone chan struct{}
+
+	// Sparse-kernel active sets (see shard.go). genSkip is non-nil when the
+	// injection process supports geometric inter-arrival skip-ahead;
+	// genDue[node] is then the node's next arrival cycle (-1 = never), and
+	// in sparse mode each shard keeps a binary min-heap of its scheduled
+	// nodes keyed by (due, node) plus a deferred list of nodes whose
+	// arrival hit a full queue. neBits[s] is shard s's nonempty-queue
+	// bitmap: bit i means node lo+i has a waiting source queue, and
+	// word-ascending, bit-ascending iteration yields node-ascending
+	// (canonical admit) order without sorting. Each shard's bitmap is a
+	// separate allocation, so concurrent shard workers never share a word.
+	// inFlight counts worms currently in the network (admitted, not yet
+	// delivered or re-queued) for the metrics gauge. delBase is the first
+	// delivery LinkID, cached for the canonical active-link key encoding.
+	// linkKey[l] is output link l's canonical arbitration key node*span+k
+	// (network output links before delivery ports, each in port order; -1
+	// for injection links, which are never transfer targets), precomputed
+	// so the transfer bucketing loop marks active links without a divide.
+	genSkip  traffic.Skipahead
+	genDue   []int64
+	neBits   [][]uint64
+	linkKey  []int32
+	inFlight int
+	delBase  int
+
 	// Per-cycle scratch state.
 	transmitted []bool          // flit crossed link l this cycle
 	txLinks     []router.LinkID // links with transmitted set this cycle (merged)
@@ -208,6 +241,62 @@ func New(cfg Config) (*Engine, error) {
 	e.shards = make([]shardState, part.Shards())
 	for s := range e.shards {
 		e.shards[s].lo, e.shards[s].hi = part.Range(s)
+	}
+	// Active-set structures. The nonempty-queue bitmaps are maintained in
+	// both kernel modes (the dense kernel only ignores them when iterating),
+	// so gauges and audits see the same state either way.
+	e.delBase = int(fab.DelLink(0, 0))
+	e.neBits = make([][]uint64, part.Shards())
+	deg := topo.Degree()
+	keySpan := deg + cfg.Router.DelPorts
+	for s := range e.shards {
+		sh := &e.shards[s]
+		span := sh.hi - sh.lo
+		e.neBits[s] = make([]uint64, (span+63)/64)
+		sh.keyBits = make([]uint64, (span*keySpan+63)/64)
+	}
+	e.linkKey = make([]int32, fab.NumLinks())
+	for l := range e.linkKey {
+		switch {
+		case l < fab.NumNetLinks():
+			e.linkKey[l] = int32(l / deg * keySpan + l % deg)
+		case l >= e.delBase:
+			d := l - e.delBase
+			e.linkKey[l] = int32(d/cfg.Router.DelPorts*keySpan + deg + d%cfg.Router.DelPorts)
+		default:
+			e.linkKey[l] = -1
+		}
+	}
+	// Skip-ahead generation: when the process supports it, every node's
+	// per-cycle Bernoulli trial collapses into a geometric inter-arrival
+	// countdown. Each node's first gap comes from its own stream, so the
+	// schedule stays a pure function of (seed, node) — and both kernel modes
+	// consume the identical stream, which is what makes them byte-identical.
+	if sk, ok := e.gen.(traffic.Skipahead); ok {
+		e.genSkip = sk
+		e.genDue = make([]int64, topo.Nodes())
+		for node := range e.genDue {
+			gap, ok := sk.NextGap(node, &e.nodeRng[node])
+			if !ok {
+				e.genDue[node] = -1
+				continue
+			}
+			e.genDue[node] = int64(gap)
+		}
+		if !cfg.DenseKernel {
+			for s := range e.shards {
+				sh := &e.shards[s]
+				span := sh.hi - sh.lo
+				sh.genHeap = make([]int32, 0, span)
+				sh.genDefA = make([]int32, 0, span)
+				sh.genDefB = make([]int32, 0, span)
+				for node := sh.lo; node < sh.hi; node++ {
+					if e.genDue[node] >= 0 {
+						e.heapPush(sh, int32(node))
+					}
+				}
+			}
+		}
 	}
 	// Pre-size the per-cycle scratch buffers to their geometric maxima so
 	// the steady-state hot path never grows them: each target VC has at
@@ -320,7 +409,7 @@ func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
 	}
 	m := e.fab.NewMessage(src, dst, length, e.now)
 	m.Phase = router.PhaseQueued
-	e.queues[src].Push(m.ID)
+	e.queuePush(src, m.ID)
 	e.mc.Inc(metrics.MGenerated)
 	if e.measuring {
 		e.st.Generated++
@@ -331,6 +420,7 @@ func (e *Engine) InjectMessage(src, dst, length int) *router.Message {
 // Run executes the configured warm-up and measurement phases and returns
 // the result.
 func (e *Engine) Run() (*Result, error) {
+	defer e.StopWorkers()
 	total := e.cfg.Warmup + e.cfg.Measure
 	for e.now < total {
 		if err := e.Step(); err != nil {
@@ -452,6 +542,9 @@ func (e *Engine) Step() error {
 		if err := e.oracle.CrossCheck(); err != nil {
 			return fmt.Errorf("cycle %d: %w", e.now, err)
 		}
+		if err := e.auditActiveSets(); err != nil {
+			return fmt.Errorf("cycle %d: %w", e.now, err)
+		}
 	}
 	if e.measuring {
 		// One measured cycle actually executed; Run reports the total, so
@@ -467,6 +560,7 @@ func (e *Engine) Step() error {
 func (e *Engine) deliver(m *router.Message) {
 	m.Phase = router.PhaseDelivered
 	m.DeliverTime = e.now
+	e.inFlight--
 	e.tr.Emit(trace.KindDeliver, m.ID, router.NilLink, int32(m.Dst), e.now-m.GenTime, -1)
 	e.clearOracleSeen(m.ID)
 	e.mc.Inc(metrics.MDelivered)
@@ -704,7 +798,8 @@ func (e *Engine) requeue(m *router.Message, node int) {
 	m.Marked = false
 	m.InjLink = router.NilLink
 	m.Retries++
-	e.queues[node].Push(m.ID)
+	e.queuePush(node, m.ID)
+	e.inFlight--
 	e.mc.Inc(metrics.MReinjected)
 	if e.measuring {
 		e.st.Reinjected++

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/bits"
+
 	"wormnet/internal/metrics"
 	"wormnet/internal/router"
 )
@@ -12,11 +14,27 @@ import (
 // busy links) are amortized over the window and allocation-free — every
 // structure visited is a pre-sized engine or fabric buffer.
 func (e *Engine) ProbeMetrics(s *metrics.Sample) {
-	queued := 0
-	for i := range e.queues {
-		queued += e.queues[i].Len()
+	// Queued walks only the nonempty-queue bitmaps (the sparse kernel's
+	// admit active set), which also directly yield the NonemptyQueues gauge.
+	queued, nonempty := 0, 0
+	for sh := range e.neBits {
+		lo := e.shards[sh].lo
+		for w, word := range e.neBits[sh] {
+			nonempty += bits.OnesCount64(word)
+			for word != 0 {
+				node := lo + w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				queued += e.queues[node].Len()
+			}
+		}
 	}
 	s.Queued = int32(queued)
+	s.NonemptyQueues = int32(nonempty)
+	// Links that carried a flit this cycle, and worms the kernel is moving:
+	// together with BusyVCs these are the active-set sizes that bound the
+	// sparse kernel's per-cycle cost.
+	s.ActiveLinks = int32(len(e.txLinks))
+	s.WormsInFlight = int32(e.inFlight)
 
 	blocked := 0
 	for _, id := range e.pending {

@@ -1,8 +1,8 @@
 package sim
 
 import (
+	"math/bits"
 	"slices"
-	"sync"
 
 	"wormnet/internal/metrics"
 	"wormnet/internal/router"
@@ -100,26 +100,82 @@ type shardState struct {
 	txLinks   []router.LinkID // transferA: links transmitted this cycle (Src-owned)
 	injecting []router.MsgID  // persistent: messages this shard is injecting
 	fed       []router.MsgID  // feed:      first flits fed this cycle
+
+	// Sparse-kernel state (see the stage comments below). keyBits is the
+	// shard's active-output-link bitmap: bit (node-lo)*span+k marks output
+	// position k of router node as having acquired feeders this cycle, so a
+	// word-ascending, bit-ascending scan visits the active links in
+	// canonical arbitration order without sorting. genHeap is the shard's
+	// (due, node) min-heap of scheduled generator arrivals; genDefA holds
+	// the nodes whose arrival was deferred by a full queue last cycle (due
+	// this cycle, node-ascending by construction), genDefB collects this
+	// cycle's deferrals, and generateShard swaps the two at the end of the
+	// stage.
+	keyBits []uint64
+	genHeap []int32
+	genDefA []int32
+	genDefB []int32
 }
 
 // runPhase executes one phase across all shards: inline when there is a
-// single shard (the default — no goroutines, no allocation), fork-join
-// otherwise. Shard 0 runs on the calling goroutine.
+// single shard (the default — no goroutines, no allocation), dispatched to
+// the persistent shard workers otherwise. Shard 0 runs on the calling
+// goroutine. The workers park on unbuffered phase channels between barrier
+// steps, so the steady-state cost is two channel operations per worker per
+// phase and zero allocations — the previous fork-join (a goroutine spawn
+// plus a sync.WaitGroup per phase per cycle) allocated on every step.
 func (e *Engine) runPhase(ph phaseID) {
 	if len(e.shards) == 1 {
 		e.runShardPhase(ph, 0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(e.shards) - 1)
-	for s := 1; s < len(e.shards); s++ {
-		go func(s int) {
-			defer wg.Done()
-			e.runShardPhase(ph, s)
-		}(s)
+	if e.workerCh == nil {
+		e.startWorkers()
+	}
+	for _, ch := range e.workerCh {
+		ch <- ph
 	}
 	e.runShardPhase(ph, 0)
-	wg.Wait()
+	for range e.workerCh {
+		<-e.workerDone
+	}
+}
+
+// startWorkers launches one parked goroutine per shard beyond the first.
+// Channel sends and receives carry the happens-before edges in both
+// directions, so each worker's shard mutations are visible to the serial
+// spine after the barrier and vice versa — the same guarantee the WaitGroup
+// fork-join provided.
+func (e *Engine) startWorkers() {
+	e.workerCh = make([]chan phaseID, len(e.shards)-1)
+	e.workerDone = make(chan struct{}, len(e.shards)-1)
+	for i := range e.workerCh {
+		ch := make(chan phaseID)
+		e.workerCh[i] = ch
+		s := i + 1
+		go func() {
+			for ph := range ch {
+				e.runShardPhase(ph, s)
+				e.workerDone <- struct{}{}
+			}
+		}()
+	}
+}
+
+// StopWorkers terminates the persistent shard workers, if any are running.
+// Run calls it on exit; callers driving a multi-shard engine through Step
+// directly should call it when done stepping to avoid leaking parked
+// goroutines. Safe to call repeatedly and on single-shard engines; the next
+// multi-shard runPhase restarts the pool.
+func (e *Engine) StopWorkers() {
+	if e.workerCh == nil {
+		return
+	}
+	for _, ch := range e.workerCh {
+		close(ch)
+	}
+	e.workerCh = nil
+	e.workerDone = nil
 }
 
 func (e *Engine) runShardPhase(ph phaseID, s int) {
@@ -148,27 +204,116 @@ func (e *Engine) runShardPhase(ph phaseID, s int) {
 //
 // Phase A: each node draws from its own per-node RNG stream (so the draw
 // sequence is independent of the shard count) against the pre-cycle queue
-// depths; the only mutation is the node's own stream and, for stateful
-// processes, per-source process state. Serial commit: allocate the messages
-// from the shared pool in node-ascending order (canonical MsgID assignment)
-// and push them onto the source queues.
+// depths; the only mutation is the node's own stream, its arrival countdown
+// and, for stateful processes, per-source process state. Serial commit:
+// allocate the messages from the shared pool in node-ascending order
+// (canonical MsgID assignment) and push them onto the source queues.
+//
+// Processes that implement traffic.Skipahead replace the per-cycle Bernoulli
+// trial with a geometric inter-arrival countdown: genDue[node] is the cycle
+// of the node's next arrival, advanced by one Geometric draw per arrival
+// instead of one uniform draw per cycle. A node whose source queue is full
+// when its arrival comes due defers to the next cycle WITHOUT consuming a
+// draw — exactly the dense semantics, where a full queue skips the trial
+// entirely. The sparse kernel keeps the scheduled nodes in a per-shard
+// (due, node) min-heap and visits only the nodes due this cycle; the dense
+// kernel scans every node's countdown. Both consume the identical stream,
+// and the heap's node tie-break makes the sparse pop order node-ascending,
+// so the gens record lists are byte-identical across kernels.
+//
+// Deferred arrivals stay OUT of the heap: at saturation every node defers
+// every cycle, and re-heaping the whole population each cycle is exactly
+// the O(nodes log nodes) churn the sparse kernel exists to avoid. Instead
+// a deferral lands on the genDefB list and is replayed next cycle from
+// genDefA (the buffers swap at the end of the stage). genDefA is
+// node-ascending by construction — deferrals are appended in processing
+// order, and every deferred node shares the same due cycle — and the heap
+// never holds a node due before now, so an ascending two-way merge of
+// genDefA with the heap's due-now pops reproduces the canonical
+// node-ascending arrival order.
 
 func (e *Engine) generateShard(s int) {
 	sh := &e.shards[s]
 	sh.gens = sh.gens[:0]
 	max := e.cfg.MaxSourceQueue
-	for node := sh.lo; node < sh.hi; node++ {
-		if e.queues[node].Len() >= max {
-			// Source queue full: generation pauses at this node (offered
-			// load is capped, which is inevitable beyond saturation).
-			continue
+	if e.genSkip == nil {
+		// Stateful process (no skip-ahead capability): dense per-cycle
+		// draws, advancing per-source process state every cycle.
+		for node := sh.lo; node < sh.hi; node++ {
+			if e.queues[node].Len() >= max {
+				// Source queue full: generation pauses at this node (offered
+				// load is capped, which is inevitable beyond saturation).
+				continue
+			}
+			dst, length, ok := e.gen.Next(node, &e.nodeRng[node])
+			if !ok {
+				continue
+			}
+			sh.gens = append(sh.gens, genRec{node: int32(node), dst: int32(dst), length: int32(length)})
 		}
-		dst, length, ok := e.gen.Next(node, &e.nodeRng[node])
-		if !ok {
-			continue
-		}
-		sh.gens = append(sh.gens, genRec{node: int32(node), dst: int32(dst), length: int32(length)})
+		return
 	}
+	if e.cfg.DenseKernel {
+		for node := sh.lo; node < sh.hi; node++ {
+			due := e.genDue[node]
+			if due < 0 || due > e.now {
+				continue
+			}
+			e.generateArrival(sh, node, max)
+		}
+		return
+	}
+	// Merge last cycle's deferrals (all due now, node-ascending) with the
+	// heap's due-now pops (node-ascending by the heap tie-break) into one
+	// node-ascending pass. A node processed here re-enters either the heap
+	// (arrival happened, next gap drawn) or genDefB (queue still full), so
+	// the two sources stay disjoint.
+	def := sh.genDefA
+	di := 0
+	for {
+		hn := int32(-1)
+		if len(sh.genHeap) > 0 && e.genDue[sh.genHeap[0]] <= e.now {
+			hn = sh.genHeap[0]
+		}
+		var node int
+		switch {
+		case di < len(def) && (hn < 0 || def[di] < hn):
+			node = int(def[di])
+			di++
+		case hn >= 0:
+			node = int(e.heapPop(sh))
+		default:
+			sh.genDefA, sh.genDefB = sh.genDefB, sh.genDefA[:0]
+			return
+		}
+		if e.generateArrival(sh, node, max) {
+			sh.genDefB = append(sh.genDefB, int32(node))
+		} else if e.genDue[node] >= 0 {
+			e.heapPush(sh, int32(node))
+		}
+	}
+}
+
+// generateArrival handles one due arrival at node: defer on a full queue
+// (due = now+1, no draw consumed, reported to the caller), otherwise record
+// the arrival and draw the next gap. Shared by both kernels so the stream
+// cannot diverge; the dense kernel ignores the deferral signal (its scan
+// finds the node again by its countdown).
+func (e *Engine) generateArrival(sh *shardState, node, max int) (deferred bool) {
+	if e.queues[node].Len() >= max {
+		e.genDue[node] = e.now + 1
+		return true
+	}
+	r := &e.nodeRng[node]
+	dst, length := e.genSkip.Arrive(node, r)
+	sh.gens = append(sh.gens, genRec{node: int32(node), dst: int32(dst), length: int32(length)})
+	gap, ok := e.genSkip.NextGap(node, r)
+	if !ok {
+		e.genDue[node] = -1
+		return false
+	}
+	e.genDue[node] = e.now + 1 + int64(gap)
+	return false
 }
 
 func (e *Engine) commitGenerate() {
@@ -176,7 +321,7 @@ func (e *Engine) commitGenerate() {
 		for _, g := range e.shards[s].gens {
 			m := e.fab.NewMessage(int(g.node), int(g.dst), int(g.length), e.now)
 			m.Phase = router.PhaseQueued
-			e.queues[g.node].Push(m.ID)
+			e.queuePush(int(g.node), m.ID)
 			e.mc.Inc(metrics.MGenerated)
 			if e.measuring {
 				e.st.Generated++
@@ -195,46 +340,75 @@ func (e *Engine) commitGenerate() {
 // during the phase, since admission only ever allocates injection VCs.
 // Trace emission and counters replay serially in node order.
 
+// admitShard admits queued messages into injection VCs. The sparse kernel
+// visits only the shard's nonempty source queues, scanning the bitmap
+// word-ascending, bit-ascending — node-ascending, the same order the dense
+// scan produces by skipping empty queues. Each word is copied before its
+// bits are walked: an admission that empties a queue clears that node's
+// live bit mid-stage (queueDrained), and the stage must still finish the
+// nodes that were nonempty when it started. No bit is ever set during the
+// stage (admission only pops queues), so the copies cannot go stale the
+// other way.
 func (e *Engine) admitShard(s int) {
 	sh := &e.shards[s]
 	sh.admits = sh.admits[:0]
+	if e.cfg.DenseKernel {
+		for node := sh.lo; node < sh.hi; node++ {
+			e.admitNode(sh, node)
+		}
+		return
+	}
+	ne := e.neBits[s]
+	for w, word := range ne {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &= word - 1
+			e.admitNode(sh, sh.lo+w<<6+b)
+		}
+	}
+}
+
+func (e *Engine) admitNode(sh *shardState, node int) {
 	fab := e.fab
 	limit := e.cfg.InjectionLimit
-	for node := sh.lo; node < sh.hi; node++ {
-		q := &e.queues[node]
-		if q.Len() == 0 {
+	q := &e.queues[node]
+	if q.Len() == 0 {
+		return
+	}
+	// The injection-limitation check must be re-evaluated per admission,
+	// not once per node: a router with several injection ports would
+	// otherwise admit up to InjPorts messages in the cycle the busy
+	// count is still at the threshold, overshooting the limit. Each
+	// message admitted this cycle will occupy a network output VC before
+	// the count is observed again, so it is charged immediately.
+	busy := 0
+	if limit >= 0 {
+		busy = fab.BusyNetOutputVCs(node)
+	}
+	for p := 0; p < e.cfg.Router.InjPorts && q.Len() > 0; p++ {
+		if limit >= 0 && busy > limit {
+			break
+		}
+		l := fab.InjLink(node, p)
+		vc := fab.FreeVC(l)
+		if vc == router.NilVC {
 			continue
 		}
-		// The injection-limitation check must be re-evaluated per admission,
-		// not once per node: a router with several injection ports would
-		// otherwise admit up to InjPorts messages in the cycle the busy
-		// count is still at the threshold, overshooting the limit. Each
-		// message admitted this cycle will occupy a network output VC before
-		// the count is observed again, so it is charged immediately.
-		busy := 0
-		if limit >= 0 {
-			busy = fab.BusyNetOutputVCs(node)
-		}
-		for p := 0; p < e.cfg.Router.InjPorts && q.Len() > 0; p++ {
-			if limit >= 0 && busy > limit {
-				break
-			}
-			l := fab.InjLink(node, p)
-			vc := fab.FreeVC(l)
-			if vc == router.NilVC {
-				continue
-			}
-			m := fab.Msg(q.Pop())
-			busy++
-			m.Phase = router.PhaseNetwork
-			m.InjLink = l
-			m.InjectTime = e.now
-			m.LastSourceFlit = e.now
-			fab.Allocate(m, router.NilVC, vc)
-			m.HeadVC = vc
-			sh.injecting = append(sh.injecting, m.ID)
-			sh.admits = append(sh.admits, admitRec{id: m.ID, link: l, vc: vc, node: int32(node)})
-		}
+		m := fab.Msg(q.Pop())
+		busy++
+		m.Phase = router.PhaseNetwork
+		m.InjLink = l
+		m.InjectTime = e.now
+		m.LastSourceFlit = e.now
+		fab.Allocate(m, router.NilVC, vc)
+		m.HeadVC = vc
+		sh.injecting = append(sh.injecting, m.ID)
+		sh.admits = append(sh.admits, admitRec{id: m.ID, link: l, vc: vc, node: int32(node)})
+	}
+	if q.Len() == 0 {
+		// The stage emptied this queue: drop the node from its shard's
+		// nonempty list (shard-local — the node belongs to this shard).
+		e.queueDrained(node)
 	}
 }
 
@@ -242,6 +416,7 @@ func (e *Engine) commitAdmit() {
 	for s := range e.shards {
 		for _, a := range e.shards[s].admits {
 			m := e.fab.Msg(a.id)
+			e.inFlight++
 			e.tr.Emit(trace.KindInject, a.id, a.link, a.node, int64(m.Length), int32(m.Dst))
 			e.tr.Emit(trace.KindVCAlloc, a.id, a.link, a.node, 0, int32(a.vc))
 			e.mc.Inc(metrics.MInjected)
@@ -276,58 +451,129 @@ func (e *Engine) transferDecide(s int) {
 	}
 	sh.txLinks = sh.txLinks[:0]
 	sh.moves = sh.moves[:0]
-	// Bucket transfer requests by target physical channel. Every feeder is
-	// an input VC at one of this shard's routers, so scanning the shard's
-	// occupied VCs covers exactly the output links this shard arbitrates.
+	deg := e.topo.Degree()
+	dp := e.cfg.Router.DelPorts
+	span := deg + dp
+	buf := int32(fab.Cfg.BufFlits)
+	dense := e.cfg.DenseKernel
+	// Bucket transfer requests by target physical channel, marking each
+	// target in the shard's active-link bitmap. The set is unconditional —
+	// re-marking an already-active link is idempotent and cheaper than the
+	// poorly predicted first-feeder branch it would take to avoid. Every
+	// feeder is an input VC at one of this shard's routers, so scanning the
+	// shard's occupied VCs covers exactly the output links this shard
+	// arbitrates. The bit position encodes the canonical arbitration
+	// position (precomputed in linkKey) — routers ascending, network output
+	// links before delivery ports, each in port order — NOT raw LinkID
+	// order: the crossbar-input constraint (inputUsedAt) couples the
+	// arbitrations of one router's outputs, so the order links are decided
+	// in is part of the determinism contract.
+	relBase := sh.lo * span
+	if dense {
+		for _, i := range fab.OccupiedShard(s) {
+			if vcs[i].Flits > 0 && vcs[i].Next != router.NilVC {
+				tl := vcs[vcs[i].Next].Link
+				e.feeders[tl] = append(e.feeders[tl], i)
+			}
+		}
+		// Reference kernel: walk every output link of the shard's routers in
+		// canonical order, skipping the (typically many) idle ones.
+		for node := sh.lo; node < sh.hi; node++ {
+			for k := 0; k < span; k++ {
+				var tl router.LinkID
+				if k < deg {
+					tl = router.LinkID(node*deg + k)
+				} else {
+					tl = fab.DelLink(node, k-deg)
+				}
+				if len(e.feeders[tl]) == 0 {
+					continue
+				}
+				e.arbitrate(sh, tl, buf)
+			}
+		}
+		return
+	}
 	for _, i := range fab.OccupiedShard(s) {
 		if vcs[i].Flits > 0 && vcs[i].Next != router.NilVC {
 			tl := vcs[vcs[i].Next].Link
+			rel := int(e.linkKey[tl]) - relBase
+			sh.keyBits[rel>>6] |= 1 << (rel & 63)
 			e.feeders[tl] = append(e.feeders[tl], i)
 		}
 	}
-	// Arbitrate in canonical order: routers ascending, network output links
-	// before delivery ports, each in port order. One winner per channel,
-	// round-robin over the (sorted) feeders, skipping feeders whose input
-	// channel already sent this cycle.
-	deg := e.topo.Degree()
-	dp := e.cfg.Router.DelPorts
-	buf := int32(fab.Cfg.BufFlits)
-	for node := sh.lo; node < sh.hi; node++ {
-		for k := 0; k < deg+dp; k++ {
+	// Sparse kernel: arbitrate only the links that acquired feeders. The
+	// word-ascending, bit-ascending scan IS the canonical key order, so no
+	// sort is needed; each word is consumed from a copy and cleared for the
+	// next cycle before its bits are decoded (arbitration never adds
+	// feeders, so no bit can be set mid-scan).
+	for w, word := range sh.keyBits {
+		if word == 0 {
+			continue
+		}
+		sh.keyBits[w] = 0
+		base := relBase + w<<6
+		for word != 0 {
+			rel := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			node, k := rel/span, rel%span
 			var tl router.LinkID
 			if k < deg {
 				tl = router.LinkID(node*deg + k)
 			} else {
 				tl = fab.DelLink(node, k-deg)
 			}
-			req := e.feeders[tl]
-			if len(req) == 0 {
-				continue
-			}
-			slices.Sort(req)
-			link := &fab.Links[tl]
-			n := len(req)
-			start := int(link.RR()) % n
-			for j := 0; j < n; j++ {
-				u := req[(start+j)%n]
-				uv := &vcs[u]
-				if vcs[uv.Next].Flits >= buf {
-					continue // no credit at the target buffer
-				}
-				in := uv.Link
-				if e.inputUsedAt[in] == e.now {
-					continue // crossbar input port already used this cycle
-				}
-				sh.moves = append(sh.moves, u)
-				e.inputUsedAt[in] = e.now
-				e.transmitted[tl] = true
-				sh.txLinks = append(sh.txLinks, tl)
-				link.AdvanceRR()
-				break
-			}
-			e.feeders[tl] = req[:0]
+			e.arbitrate(sh, tl, buf)
 		}
 	}
+}
+
+// arbitrate picks at most one winner among target link tl's feeders:
+// round-robin over the sorted feeder list, skipping feeders without credit
+// at the target buffer or whose input channel already sent this cycle. The
+// single-feeder case — the overwhelmingly common one at low load — skips the
+// sort and the modulo walk outright; it is decision-identical because a sort
+// of one element is a no-op, RR()%1 is always 0, and the round-robin pointer
+// advances only on a grant in both paths.
+func (e *Engine) arbitrate(sh *shardState, tl router.LinkID, buf int32) {
+	fab := e.fab
+	vcs := fab.VCs
+	req := e.feeders[tl]
+	link := &fab.Links[tl]
+	if len(req) == 1 {
+		u := req[0]
+		uv := &vcs[u]
+		if vcs[uv.Next].Flits < buf && e.inputUsedAt[uv.Link] != e.now {
+			sh.moves = append(sh.moves, u)
+			e.inputUsedAt[uv.Link] = e.now
+			e.transmitted[tl] = true
+			sh.txLinks = append(sh.txLinks, tl)
+			link.AdvanceRR()
+		}
+		e.feeders[tl] = req[:0]
+		return
+	}
+	slices.Sort(req)
+	n := len(req)
+	start := int(link.RR()) % n
+	for j := 0; j < n; j++ {
+		u := req[(start+j)%n]
+		uv := &vcs[u]
+		if vcs[uv.Next].Flits >= buf {
+			continue // no credit at the target buffer
+		}
+		in := uv.Link
+		if e.inputUsedAt[in] == e.now {
+			continue // crossbar input port already used this cycle
+		}
+		sh.moves = append(sh.moves, u)
+		e.inputUsedAt[in] = e.now
+		e.transmitted[tl] = true
+		sh.txLinks = append(sh.txLinks, tl)
+		link.AdvanceRR()
+		break
+	}
+	e.feeders[tl] = req[:0]
 }
 
 func (e *Engine) transferCommit(s int) {
@@ -385,34 +631,64 @@ func (e *Engine) commitTransfer() {
 // Delivery VCs are owned by their node's shard, so flit consumption and VC
 // release run in the parallel phase; message finalization (histograms,
 // counters, trace, pool recycling) replays serially in node order — the same
-// order the serial engine used, since the delivery VC list is node-ascending
-// by construction.
+// order the serial engine used, since the drain order is node-ascending by
+// construction. The sparse kernel iterates the fabric's occupied-delivery-VC
+// bitmap instead of every delivery port: delivery VCs are numbered in link
+// order (node-major, port-minor) and the bitmap mirrors that numbering, so
+// the word-ascending, bit-ascending scan reproduces the dense scan order
+// exactly — no sort. Each word is copied before its bits are walked:
+// draining a tail releases the VC, which clears that VC's live bit
+// (ReleaseEmptyVC) mid-iteration, and nothing sets bits during the stage.
 
 func (e *Engine) drainShard(s int) {
 	sh := &e.shards[s]
 	sh.delivered = sh.delivered[:0]
 	fab := e.fab
-	dp := e.cfg.Router.DelPorts
-	for _, id := range e.deliveryVCs[sh.lo*dp : sh.hi*dp] {
-		vc := &fab.VCs[id]
-		if vc.Occupant == router.NilMsg || vc.Flits == 0 {
-			continue
+	if e.cfg.DenseKernel {
+		dp := e.cfg.Router.DelPorts
+		for _, id := range e.deliveryVCs[sh.lo*dp : sh.hi*dp] {
+			vc := &fab.VCs[id]
+			if vc.Occupant == router.NilMsg || vc.Flits == 0 {
+				continue
+			}
+			e.drainVC(sh, id)
 		}
-		m := fab.Msg(vc.Occupant)
-		tail := vc.HasTail && vc.Flits == 1
-		vc.Flits--
-		m.Consumed++
-		if vc.HasHeader {
-			vc.HasHeader = false
-			m.HeadVC = router.NilVC
-		}
-		if !tail {
-			continue
-		}
-		fab.ReleaseEmptyVC(id)
-		m.TailVC = router.NilVC
-		sh.delivered = append(sh.delivered, m.ID)
+		return
 	}
+	occ := fab.DeliveryOccBitsShard(s)
+	sbase := fab.DeliveryShardBase(s)
+	for w, word := range occ {
+		base := sbase + router.VCID(w<<6)
+		for word != 0 {
+			id := base + router.VCID(bits.TrailingZeros64(word))
+			word &= word - 1
+			if fab.VCs[id].Flits == 0 {
+				continue // allocated but no flit buffered yet
+			}
+			e.drainVC(sh, id)
+		}
+	}
+}
+
+// drainVC consumes one flit from occupied delivery VC id, releasing the VC
+// and recording the message once the tail is consumed.
+func (e *Engine) drainVC(sh *shardState, id router.VCID) {
+	fab := e.fab
+	vc := &fab.VCs[id]
+	m := fab.Msg(vc.Occupant)
+	tail := vc.HasTail && vc.Flits == 1
+	vc.Flits--
+	m.Consumed++
+	if vc.HasHeader {
+		vc.HasHeader = false
+		m.HeadVC = router.NilVC
+	}
+	if !tail {
+		return
+	}
+	fab.ReleaseEmptyVC(id)
+	m.TailVC = router.NilVC
+	sh.delivered = append(sh.delivered, m.ID)
 }
 
 func (e *Engine) commitDelivery() {

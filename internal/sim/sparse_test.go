@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/probe"
+	"wormnet/internal/router"
+	"wormnet/internal/topology"
+	"wormnet/internal/traffic"
+)
+
+// runKernel runs cfg with the given kernel mode and shard count, tracing to
+// a buffer, and returns the result plus the raw trace bytes.
+func runKernel(t *testing.T, cfg Config, dense bool, shards int) (*Result, []byte) {
+	t.Helper()
+	cfg.DenseKernel = dense
+	res, tr := runSharded(t, cfg, shards, true)
+	return res, tr
+}
+
+// TestSparseKernelByteIdentity is the sparse kernel's conformance gate: for
+// every detector family, at low load and at saturation, the dense reference
+// kernel (full-fabric scans every cycle) and the sparse kernel (active-set
+// iteration) must produce byte-identical counters, histograms and trace
+// streams, at one shard and at four. Debug mode stays on (via smallConfig),
+// so every cycle also cross-checks the active lists against full rescans.
+func TestSparseKernelByteIdentity(t *testing.T) {
+	detectors := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"ndm", func(c *Config) {}},
+		{"pdm", func(c *Config) {
+			c.Detector = func(f *router.Fabric) detect.Detector { return detect.NewPDM(f, 24) }
+		}},
+		{"cmh", func(c *Config) {
+			c.Detector = func(f *router.Fabric) detect.Detector {
+				return probe.New(f, probe.Config{InitDelay: 8})
+			}
+		}},
+	}
+	loads := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"low", func() Config {
+			cfg := shardedConfig()
+			cfg.Load = 0.1
+			return cfg
+		}},
+		{"saturated", shardedConfig},
+	}
+	for _, ld := range loads {
+		for _, det := range detectors {
+			t.Run(ld.name+"/"+det.name, func(t *testing.T) {
+				cfg := ld.cfg()
+				det.mod(&cfg)
+				wantRes, wantTrace := runKernel(t, cfg, true, 1)
+				if len(wantTrace) == 0 {
+					t.Fatal("dense reference run produced no trace bytes")
+				}
+				for _, shards := range []int{1, 4} {
+					gotRes, gotTrace := runKernel(t, cfg, false, shards)
+					if gotRes.Counters != wantRes.Counters {
+						t.Errorf("sparse shards=%d: counters diverge\n got %+v\nwant %+v",
+							shards, gotRes.Counters, wantRes.Counters)
+					}
+					if !bytes.Equal(gotTrace, wantTrace) {
+						t.Errorf("sparse shards=%d: trace stream diverges (%d vs %d bytes)",
+							shards, len(gotTrace), len(wantTrace))
+					}
+					if !reflect.DeepEqual(gotRes.LatencyHist, wantRes.LatencyHist) ||
+						!reflect.DeepEqual(gotRes.DetectDelayHist, wantRes.DetectDelayHist) ||
+						!reflect.DeepEqual(gotRes.DetectLatencyHist, wantRes.DetectLatencyHist) {
+						t.Errorf("sparse shards=%d: histograms diverge", shards)
+					}
+				}
+				// The dense kernel sharded must match too: kernel mode and
+				// shard count are independent axes of the identity contract.
+				denseRes, denseTrace := runKernel(t, cfg, true, 4)
+				if denseRes.Counters != wantRes.Counters {
+					t.Errorf("dense shards=4: counters diverge\n got %+v\nwant %+v",
+						denseRes.Counters, wantRes.Counters)
+				}
+				if !bytes.Equal(denseTrace, wantTrace) {
+					t.Errorf("dense shards=4: trace stream diverges")
+				}
+			})
+		}
+	}
+}
+
+// TestSparseKernelBursty pins the capability gate: a stateful process (no
+// Skipahead) must run the dense per-cycle generation path in both kernel
+// modes and still produce identical results — the sparse kernel only
+// accelerates the stages it can prove equivalent.
+func TestSparseKernelBursty(t *testing.T) {
+	cfg := shardedConfig()
+	cfg.Process = func(tp *topology.Torus) traffic.Process {
+		return traffic.NewBursty(tp, traffic.NewUniform(tp), traffic.Fixed(16), 0.4, 4, 50)
+	}
+	wantRes, wantTrace := runKernel(t, cfg, true, 1)
+	gotRes, gotTrace := runKernel(t, cfg, false, 1)
+	if gotRes.Counters != wantRes.Counters {
+		t.Errorf("bursty sparse vs dense: counters diverge\n got %+v\nwant %+v",
+			gotRes.Counters, wantRes.Counters)
+	}
+	if !bytes.Equal(gotTrace, wantTrace) {
+		t.Errorf("bursty sparse vs dense: trace stream diverges")
+	}
+}
+
+// TestBurstyNotSkipahead pins that the stateful burst process does NOT
+// satisfy the skip-ahead capability (its per-cycle Markov state must advance
+// every cycle), while the Bernoulli generator does.
+func TestBurstyNotSkipahead(t *testing.T) {
+	tp := topology.New(4, 2)
+	var p traffic.Process = traffic.NewBursty(tp, traffic.NewUniform(tp), traffic.Fixed(16), 0.4, 4, 50)
+	if _, ok := p.(traffic.Skipahead); ok {
+		t.Fatal("Bursty satisfies Skipahead; its Markov state would be frozen between arrivals")
+	}
+	p = traffic.NewGenerator(traffic.NewUniform(tp), traffic.Fixed(16), 0.4)
+	if _, ok := p.(traffic.Skipahead); !ok {
+		t.Fatal("Generator does not satisfy Skipahead")
+	}
+}
+
+// TestSparseActiveSetAudit drives a Debug run at saturation with recovery
+// and fault churn (requeues exercise the queuePush registration path) and
+// relies on the per-cycle audit to catch any active-list drift.
+func TestSparseActiveSetAudit(t *testing.T) {
+	cfg := shardedConfig() // Debug=true via smallConfig
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if i == 200 {
+			e.FailLink(router.LinkID(3)) // kills worms -> requeue path
+		}
+		if i == 250 {
+			e.RepairLink(router.LinkID(3))
+		}
+	}
+	// InjectMessage must register the node in the nonempty list too.
+	if m := e.InjectMessage(0, 5, 4); m == nil {
+		// Saturated queue: acceptable, the bound rejected it.
+		t.Log("InjectMessage rejected by full queue (acceptable at saturation)")
+	}
+	if err := e.auditActiveSets(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -290,6 +290,36 @@ type Process interface {
 	Name() string
 }
 
+// Skipahead is the capability interface for processes whose per-cycle trials
+// are independent and identically distributed, so the gap to the next
+// arrival can be drawn in closed form instead of running one Bernoulli trial
+// per cycle per node. The engine uses it to visit a node only on its arrival
+// cycles — O(arrivals) generator work per cycle instead of O(nodes) — which
+// is what keeps quiet fabrics cheap.
+//
+// The contract mirrors a trial-by-trial process exactly: NextGap returns the
+// number of failed trials before the next success, and Arrive draws the
+// arriving message's destination and length. Cycles on which the engine
+// withholds the trial (a full source queue) do not consume the gap; the
+// engine re-offers the arrival on the next cycle, exactly as a skipped
+// Bernoulli trial would be retried.
+//
+// Stateful processes (e.g. Bursty, whose per-cycle rate depends on a Markov
+// state that must advance every cycle) must NOT implement Skipahead; the
+// engine falls back to the dense per-cycle Next path for them.
+type Skipahead interface {
+	Process
+	// NextGap draws the number of failed trials strictly before the next
+	// arrival at node src (0 = the very next trial succeeds). ok=false
+	// means the node never generates (zero rate) and must not be asked
+	// again; no variate is consumed in that case.
+	NextGap(src int, r *rng.Source) (gap int, ok bool)
+	// Arrive draws the destination and length of the message arriving at
+	// node src. It consumes the same variates, in the same order, that
+	// Next consumes after a successful trial.
+	Arrive(src int, r *rng.Source) (dst, length int)
+}
+
 // Generator turns a target load into a stream of messages at one node.
 // Each cycle, a new message is generated with probability
 // load / meanLength, which yields the requested rate in flits/cycle/node.
@@ -333,4 +363,22 @@ func (g *Generator) Next(src int, r *rng.Source) (dst, length int, ok bool) {
 		return 0, 0, false
 	}
 	return g.pattern.Destination(src, r), g.lengths.Length(r), true
+}
+
+// NextGap implements Skipahead: the number of failed Bernoulli(pMsg) trials
+// before the next success is geometric, so one Geometric draw replaces the
+// whole run of per-cycle Bool draws. The variate stream differs from Next's
+// (one uniform per gap instead of one per trial), which is why switching
+// kernels is a documented stream change, not a silent one.
+func (g *Generator) NextGap(src int, r *rng.Source) (gap int, ok bool) {
+	if g.pMsg <= 0 {
+		return 0, false
+	}
+	return r.Geometric(g.pMsg), true
+}
+
+// Arrive implements Skipahead, consuming the destination and length variates
+// in the same order as Next's success branch.
+func (g *Generator) Arrive(src int, r *rng.Source) (dst, length int) {
+	return g.pattern.Destination(src, r), g.lengths.Length(r)
 }
