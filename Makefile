@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke shard-smoke sparse-smoke trace-smoke metrics-smoke shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards bench-sparse profile clean
+.PHONY: all build test race vet smoke shard-smoke sparse-smoke trace-smoke metrics-smoke conformance-exhaustive conformance-nightly conformance-cex conformance-fuzz-seeds shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards bench-sparse profile clean
 
 all: vet test
 
@@ -78,6 +78,68 @@ trace-smoke: build
 		-trace /tmp/wormnet-ring.jsonl -trace-last 256 > /dev/null
 	/tmp/wormnet-traceview -summary /tmp/wormnet-ring.jsonl > /dev/null
 	@echo "trace-smoke: stream and ring captures decode, detections present"
+
+# Exhaustive conformance gate (CI-required, well under 2 minutes): the
+# bounded model checker (internal/mc, cmd/mcheck) explores EVERY reachable
+# blocking/advancing/injection interleaving of the scripted workloads and
+# checks the paper's invariants — safety (structural + NDM flag lattice),
+# liveness (every true deadlock marked and drained within a horizon) and
+# mark economy (>= 1 true mark per drained episode) — for all three
+# mechanisms.
+#
+#   3x3, window 0/1: exhaustive to fixpoint; the face cycle DOES deadlock
+#   (-min-deadlocks guards against the liveness check going vacuous).
+#   3x3, window 2:   exhaustive to depth 14 (the documented depth bound;
+#   fixpoint is the nightly tier).
+#   2x2, window 1:   exhaustive to fixpoint; proves the k=2 face cycle can
+#   NEVER deadlock (parallel minimal channels always leave an escape), so
+#   zero deadlocked states is the expected — and verified — outcome there.
+#
+# Any violation exits nonzero with a minimized choice path; re-run with
+# -cex to emit a trace stream for traceview. The committed regression
+# counterexample (a liveness violation with detection disabled) must keep
+# rendering.
+conformance-exhaustive: build
+	$(GO) build -o /tmp/wormnet-mcheck ./cmd/mcheck
+	$(GO) build -o /tmp/wormnet-traceview ./cmd/traceview
+	/tmp/wormnet-mcheck -k 3 -mech ndm,pdm,cmh -script face -window 0 -min-deadlocks 1
+	/tmp/wormnet-mcheck -k 3 -mech ndm,pdm,cmh -script face -window 1 -min-deadlocks 1
+	/tmp/wormnet-mcheck -k 3 -mech ndm,pdm,cmh -script face -window 2 -depth 14 -min-deadlocks 1
+	/tmp/wormnet-mcheck -k 2 -mech ndm,pdm,cmh -script face -window 1
+	/tmp/wormnet-traceview -summary internal/mc/testdata/liveness-cex-3x3-none.jsonl \
+		| grep -q 'oracle-deadlock'
+	@echo "conformance-exhaustive: all interleavings verified (safety, liveness, mark economy)"
+
+# Nightly-depth conformance tier (~1-2 min of pure exploration; not a PR
+# gate). Adds the 8-message double-face script on the 2x2 — ~1M states,
+# exhaustive proof that even with both parallel channels saturated the k=2
+# torus cannot deadlock — and pushes the 3x3 window-2 space to fixpoint.
+conformance-nightly: build
+	$(GO) build -o /tmp/wormnet-mcheck ./cmd/mcheck
+	/tmp/wormnet-mcheck -k 2 -mech ndm -script dblface -window 0 -max-states 1500000
+	/tmp/wormnet-mcheck -k 3 -mech ndm,pdm,cmh -script face -window 2 -min-deadlocks 1
+	@echo "conformance-nightly: deep exploration clean"
+
+# Regenerate the committed regression counterexample: the minimized
+# liveness violation the checker finds when detection is disabled.
+conformance-cex: build
+	$(GO) build -o /tmp/wormnet-mcheck ./cmd/mcheck
+	-/tmp/wormnet-mcheck -k 3 -mech none -script face -window 0 \
+		-cex internal/mc/testdata/liveness-cex-3x3-none.jsonl
+	@echo "conformance-cex: regenerated internal/mc/testdata/liveness-cex-3x3-none.jsonl"
+
+# Regenerate the committed fuzz corpora from model-checker frontier states
+# (canonical state encodings make structured opcode programs for the
+# detect/probe fuzz harnesses).
+conformance-fuzz-seeds: build
+	$(GO) build -o /tmp/wormnet-mcheck ./cmd/mcheck
+	/tmp/wormnet-mcheck -k 3 -mech ndm -script face -window 1 \
+		-emit-fuzz-seeds internal/detect/testdata/fuzz/FuzzNDMFlags -seeds 12
+	/tmp/wormnet-mcheck -k 3 -mech pdm -script face -window 1 \
+		-emit-fuzz-seeds internal/detect/testdata/fuzz/FuzzPDMFlags -seeds 12
+	/tmp/wormnet-mcheck -k 3 -mech cmh -script face -window 1 \
+		-emit-fuzz-seeds internal/probe/testdata/fuzz/FuzzProbeDigest -seeds 12
+	@echo "conformance-fuzz-seeds: corpora regenerated"
 
 # Metrics smoke: scrape a live run's /metrics, /status and /debug/pprof,
 # check that an emitted time series parses back through metricsview, and

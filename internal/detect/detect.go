@@ -138,6 +138,17 @@ type ProbeObserver interface {
 	ProbeTotals() ProbeTotals
 }
 
+// Encodable is implemented by detectors whose internal state can be folded
+// into the model checker's canonical state encoding (internal/mc). The
+// contract: two detector states with equal encodings must behave identically
+// under identical future event sequences. Unbounded values (inactivity
+// counters, ages derived from now) must be clamped at the point past their
+// largest behavioral threshold so the encoding stays finite; absolute cycle
+// numbers must never be encoded directly.
+type Encodable interface {
+	AppendState(buf []byte, now int64) []byte
+}
+
 // None is a Detector that never marks anything. It is used to measure raw
 // network behavior (including unrecovered deadlocks) and as a baseline in
 // tests.

@@ -144,6 +144,32 @@ func (d *NDM) DTFlagSet(l router.LinkID) bool { return d.dtFlag[l] }
 // GPIsGenerate reports whether input channel l currently holds G.
 func (d *NDM) GPIsGenerate(l router.LinkID) bool { return d.gp[l] }
 
+// AppendState implements Encodable: per link, the inactivity counter clamped
+// just past T2 (beyond which increments are inert — both flags are already
+// set and only a transmission resets them) and the I/DT/G-P flag bits. The
+// clamp keeps the encoding finite across arbitrarily long inactive
+// stretches without conflating any two behaviorally distinct states.
+func (d *NDM) AppendState(buf []byte, _ int64) []byte {
+	for l := range d.counter {
+		c := d.counter[l]
+		if c > d.T2 {
+			c = d.T2 + 1
+		}
+		var bits byte
+		if d.iFlag[l] {
+			bits |= 1
+		}
+		if d.dtFlag[l] {
+			bits |= 2
+		}
+		if d.gp[l] {
+			bits |= 4
+		}
+		buf = append(buf, byte(c), byte(c>>8), bits)
+	}
+	return buf
+}
+
 // RouteFailed implements Detector.
 func (d *NDM) RouteFailed(m *router.Message, in router.LinkID, outs []router.LinkID, first bool, now int64) bool {
 	if first {

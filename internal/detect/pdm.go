@@ -70,6 +70,24 @@ func (d *PDM) FlagCounts() (iFlags, dtFlags, gFlags int) {
 // InactivitySet reports the IF flag of link l (exported for tests).
 func (d *PDM) InactivitySet(l router.LinkID) bool { return d.ifFlag[l] }
 
+// AppendState implements Encodable: per link, the inactivity counter clamped
+// just past the threshold (beyond which increments are inert — the flag is
+// already set and only a transmission resets it) and the IF flag bit.
+func (d *PDM) AppendState(buf []byte, _ int64) []byte {
+	for l := range d.counter {
+		c := d.counter[l]
+		if c > d.Threshold {
+			c = d.Threshold + 1
+		}
+		var bit byte
+		if d.ifFlag[l] {
+			bit = 1
+		}
+		buf = append(buf, byte(c), byte(c>>8), bit)
+	}
+	return buf
+}
+
 // RouteFailed implements Detector. PDM checks on every unsuccessful
 // attempt, including the first.
 func (d *PDM) RouteFailed(_ *router.Message, _ router.LinkID, outs []router.LinkID, _ bool, _ int64) bool {

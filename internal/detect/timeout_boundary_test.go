@@ -1,0 +1,111 @@
+package detect_test
+
+import (
+	"math"
+	"testing"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/router"
+)
+
+// The timeout heuristics share one contract: strictly greater than the
+// threshold marks, exactly at the threshold does not (`now - stamp >
+// Threshold`). These tables pin the boundary on both sides of every
+// mechanism, including at cycle counts near the top of int64 where a
+// careless reformulation (`now > stamp + Threshold`) would overflow and
+// flip the verdict.
+
+const bigCycle = math.MaxInt64 - 7 // near-overflow 'now'; stamp+threshold stays representable only via subtraction
+
+func TestSourceAgeTimeoutBoundary(t *testing.T) {
+	cases := []struct {
+		name       string
+		threshold  int64
+		injectTime int64
+		now        int64
+		want       bool
+	}{
+		{"below", 100, 50, 149, false},
+		{"exactly at threshold", 100, 50, 150, false},
+		{"one past threshold", 100, 50, 151, true},
+		{"threshold one, equal", 1, 0, 1, false},
+		{"threshold one, past", 1, 0, 2, true},
+		{"zero age", 100, 500, 500, false},
+		{"huge cycle, at threshold", 1 << 40, bigCycle - (1 << 40), bigCycle, false},
+		{"huge cycle, past threshold", 1 << 40, bigCycle - (1 << 40) - 1, bigCycle, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := detect.NewSourceAgeTimeout(tc.threshold)
+			m := &router.Message{InjectTime: tc.injectTime}
+			if got := d.RouteFailed(m, 0, nil, false, tc.now); got != tc.want {
+				t.Fatalf("th=%d inject=%d now=%d: marked=%v, want %v",
+					tc.threshold, tc.injectTime, tc.now, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSourceStallTimeoutBoundary(t *testing.T) {
+	cases := []struct {
+		name             string
+		threshold        int64
+		lastSourceFlit   int64
+		now              int64
+		injected, length int32
+		want             bool
+	}{
+		{"below", 50, 100, 149, 8, 16, false},
+		{"exactly at threshold", 50, 100, 150, 8, 16, false},
+		{"one past threshold", 50, 100, 151, 8, 16, true},
+		{"fully injected, far past", 50, 100, 1 << 30, 16, 16, false},
+		{"over-injected, far past", 50, 100, 1 << 30, 17, 16, false},
+		{"one flit short, past", 50, 100, 151, 15, 16, true},
+		{"huge cycle, at threshold", 1 << 40, bigCycle - (1 << 40), bigCycle, 1, 16, false},
+		{"huge cycle, past threshold", 1 << 40, bigCycle - (1 << 40) - 1, bigCycle, 1, 16, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := detect.NewSourceStallTimeout(tc.threshold)
+			m := &router.Message{
+				Length:         tc.length,
+				Injected:       tc.injected,
+				LastSourceFlit: tc.lastSourceFlit,
+			}
+			if got := d.RouteFailed(m, 0, nil, false, tc.now); got != tc.want {
+				t.Fatalf("th=%d stall=%d now=%d inj=%d/%d: marked=%v, want %v",
+					tc.threshold, tc.lastSourceFlit, tc.now, tc.injected, tc.length, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHeaderBlockTimeoutBoundary(t *testing.T) {
+	cases := []struct {
+		name         string
+		threshold    int64
+		blockedSince int64
+		now          int64
+		first        bool
+		want         bool
+	}{
+		{"below", 30, 100, 129, false, false},
+		{"exactly at threshold", 30, 100, 130, false, false},
+		{"one past threshold", 30, 100, 131, false, true},
+		{"first attempt never marks", 30, 100, 1 << 30, true, false},
+		{"threshold zero, same cycle", 0, 100, 100, false, false},
+		{"threshold zero, next cycle", 0, 100, 101, false, true},
+		{"huge cycle, at threshold", 1 << 40, bigCycle - (1 << 40), bigCycle, false, false},
+		{"huge cycle, past threshold", 1 << 40, bigCycle - (1 << 40) - 1, bigCycle, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := detect.NewHeaderBlockTimeout(tc.threshold)
+			m := &router.Message{BlockedSince: tc.blockedSince}
+			if got := d.RouteFailed(m, 0, nil, tc.first, tc.now); got != tc.want {
+				t.Fatalf("th=%d blocked=%d now=%d first=%v: marked=%v, want %v",
+					tc.threshold, tc.blockedSince, tc.now, tc.first, got, tc.want)
+			}
+		})
+	}
+}

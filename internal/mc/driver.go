@@ -1,0 +1,275 @@
+package mc
+
+import (
+	"fmt"
+
+	"wormnet/internal/detect"
+	"wormnet/internal/probe"
+	"wormnet/internal/router"
+	"wormnet/internal/sim"
+	"wormnet/internal/topology"
+	"wormnet/internal/trace"
+	"wormnet/internal/traffic"
+)
+
+// chooser records and replays the engine's decision sequence. Choices up to
+// len(path) are prescribed; beyond it the default (0) is taken. Every call
+// appends its arity, so after a cycle the caller knows the full branching
+// structure it just traversed (the odometer in explore.go enumerates
+// siblings from it).
+type chooser struct {
+	path  []uint8
+	pos   int
+	arity []uint8
+}
+
+// Choose implements sim.Chooser.
+func (c *chooser) Choose(_ sim.ChoicePoint, n int) int {
+	c.arity = append(c.arity, uint8(n))
+	var v int
+	if c.pos < len(c.path) {
+		v = int(c.path[c.pos])
+	}
+	c.pos++
+	if v >= n {
+		v = 0 // stale prescription (minimizer edits); fall back to default
+	}
+	return v
+}
+
+// runner owns one engine instance and replays choice sequences against it.
+// Runners are disposable: exploration builds one per leaf and replays the
+// leaf's prefix from the initial state (the engine is not snapshottable, but
+// tiny fabrics make replay cheap).
+type runner struct {
+	o   *Options
+	eng *sim.Engine
+	ch  *chooser
+
+	// Injection scripting state: the next script entry to inject and each
+	// entry's remaining deferral budget. Entries inject strictly in order;
+	// one ChooseInject branch per cycle decides "inject now" vs "defer the
+	// rest of the script this cycle", so message IDs are a pure function
+	// of injection timing and the state space stays finite.
+	scriptIdx int
+	budget    []int
+}
+
+// newRunner builds a fresh engine at the initial state. rec optionally
+// attaches the flight recorder (pure observation; used for counterexample
+// emission).
+func (o *Options) newRunner(rec *trace.Recorder) (*runner, error) {
+	ch := &chooser{}
+	rcfg := router.DefaultConfig()
+	rcfg.VCsPerLink = o.VCs
+	rcfg.BufFlits = o.BufFlits
+	rcfg.InjPorts = 1
+	rcfg.DelPorts = 1
+	cfg := sim.Config{
+		K:      o.K,
+		N:      o.N,
+		Router: rcfg,
+		Pattern: func(t *topology.Torus) traffic.Pattern {
+			return traffic.NewUniform(t)
+		},
+		Lengths:        traffic.Fixed(1),
+		Load:           0, // scripted workload only: generation never fires
+		Detector:       o.detectorFactory(),
+		Recovery:       o.Recovery,
+		Select:         router.SelectFirst, // unused under a Chooser
+		InjectionLimit: -1,
+		MaxSourceQueue: len(o.Script) + 1,
+		Warmup:         0,
+		Measure:        1 << 40, // mark counters accumulate from cycle 0
+		OracleEvery:    0,       // the checker consults the oracle itself
+		Seed:           1,
+		Shards:         1,
+		Chooser:        ch,
+		Trace:          rec,
+		Debug:          true, // per-cycle safety checks surface as Step errors
+	}
+	if rec != nil {
+		// Counterexample emission: run the engine-side oracle sweep every
+		// cycle so the stream carries oracle-deadlock events. The sweep is
+		// pure observation — replayed behavior is unchanged.
+		cfg.OracleEvery = 1
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{o: o, eng: eng, ch: ch, budget: make([]int, len(o.Script))}
+	for i := range r.budget {
+		r.budget[i] = o.InjectWindow
+	}
+	return r, nil
+}
+
+// detectorFactory maps the mechanism name onto the real detector
+// constructors, at the configured threshold.
+func (o *Options) detectorFactory() sim.DetectorFactory {
+	th := o.Threshold
+	switch o.Mechanism {
+	case "ndm":
+		return func(f *router.Fabric) detect.Detector {
+			return detect.NewNDMOpt(f, 1, th, detect.PromoteAll)
+		}
+	case "pdm":
+		return func(f *router.Fabric) detect.Detector {
+			return detect.NewPDM(f, th)
+		}
+	case "cmh":
+		return func(f *router.Fabric) detect.Detector {
+			return probe.New(f, probe.Config{InitDelay: th})
+		}
+	default: // "none"
+		return nil
+	}
+}
+
+// inject runs the driver's injection decision points for this cycle:
+// scripted messages enter their source queue strictly in order, each
+// deferrable while its budget lasts. A deferral stops the walk (later
+// entries cannot overtake), so each cycle contributes at most one
+// ChooseInject branch and message IDs stay a pure function of the timing
+// choices.
+func (r *runner) inject() {
+	for r.scriptIdx < len(r.o.Script) {
+		in := r.o.Script[r.scriptIdx]
+		if r.budget[r.scriptIdx] > 0 {
+			if r.ch.Choose(sim.ChooseInject, 2) == 1 {
+				r.budget[r.scriptIdx]--
+				return
+			}
+		}
+		if m := r.eng.InjectMessage(in.Src, in.Dst, in.Length); m == nil {
+			panic("mc: source queue rejected a scripted message (MaxSourceQueue must cover the script)")
+		}
+		r.scriptIdx++
+	}
+}
+
+// step advances one cycle under the prescribed choice vector trial (nil =
+// all defaults), returning the effective vector actually taken and the
+// arity of every decision point encountered. A non-nil error is a safety
+// violation (the engine's debug invariants failed).
+func (r *runner) step(trial []uint8) (eff, arity []uint8, err error) {
+	r.ch.path = trial
+	r.ch.pos = 0
+	r.ch.arity = r.ch.arity[:0]
+	r.inject()
+	if err := r.eng.Step(); err != nil {
+		return nil, nil, err
+	}
+	arity = r.ch.arity
+	eff = make([]uint8, len(arity))
+	for i := range eff {
+		if i < len(trial) && trial[i] < arity[i] {
+			eff[i] = trial[i]
+		}
+	}
+	return eff, arity, nil
+}
+
+// replay builds a fresh runner and replays the given per-cycle choice
+// vectors from the initial state. Prefixes explored before must replay
+// cleanly; an error here means the engine lost determinism and the whole
+// check is invalid.
+func (o *Options) replay(path [][]uint8) (*runner, error) {
+	r, err := o.newRunner(nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, vec := range path {
+		if _, _, err := r.step(vec); err != nil {
+			return nil, fmt.Errorf("mc: prefix replay diverged at cycle %d: %w", i, err)
+		}
+	}
+	return r, nil
+}
+
+// checkLattice asserts NDM's flag lattice (DT implies I on every link): the
+// detection-threshold flag can only be set by a counter that already passed
+// the shorter inactivity threshold, and both reset together on
+// transmission. Other mechanisms have no two-level lattice to check.
+func (r *runner) checkLattice() *Violation {
+	d, ok := r.eng.Detector().(*detect.NDM)
+	if !ok {
+		return nil
+	}
+	fab := r.eng.Fabric()
+	for l := 0; l < fab.NumLinks(); l++ {
+		id := router.LinkID(l)
+		if d.DTFlagSet(id) && !d.IFlagSet(id) {
+			return &Violation{
+				Kind:   "flag-lattice",
+				Detail: fmt.Sprintf("link %d: DT set with I clear", l),
+				Cycle:  r.eng.Now(),
+			}
+		}
+	}
+	return nil
+}
+
+// livenessProbe checks the paper's two invariants from the runner's current
+// state. If the global oracle reports a non-empty deadlocked set, the run
+// is continued under the deterministic default schedule (all choices 0,
+// pending injections proceeding immediately): the set must drain within the
+// horizon (liveness), producing at least one — under Strict, exactly one —
+// true-classified mark (mark economy). The runner is consumed.
+//
+// Soundness of "drained implies truly marked": a member of the oracle's
+// fixpoint set waits only on virtual channels held by other members, so no
+// delivery or false mark outside the set can free one; the set shrinks only
+// when a member is marked, and marking a member classifies as true.
+func (r *runner) livenessProbe(res *Result) *Violation {
+	set := r.eng.Oracle().Deadlocked()
+	if len(set) == 0 {
+		return nil
+	}
+	res.DeadlockStates++
+	size0 := len(set)
+	trueMarks := 0
+	doubles := false
+	last := r.eng.Stats().TrueMarked
+	for t := 0; t < r.o.Horizon; t++ {
+		if _, _, err := r.step(nil); err != nil {
+			return &Violation{Kind: "safety", Detail: err.Error(), Cycle: r.eng.Now()}
+		}
+		if v := r.checkLattice(); v != nil {
+			return v
+		}
+		cur := r.eng.Stats().TrueMarked
+		d := int(cur - last)
+		last = cur
+		trueMarks += d
+		if d >= 2 {
+			doubles = true
+		}
+		if len(r.eng.Oracle().Deadlocked()) == 0 {
+			res.TrueMarks += trueMarks
+			switch {
+			case trueMarks < 1:
+				return &Violation{
+					Kind:   "mark-economy",
+					Detail: fmt.Sprintf("deadlocked set of %d drained with no true mark", size0),
+					Cycle:  r.eng.Now(),
+				}
+			case r.o.Strict && (trueMarks != 1 || doubles):
+				return &Violation{
+					Kind: "mark-economy",
+					Detail: fmt.Sprintf("strict: deadlocked set of %d drained with %d true marks (same-cycle double: %v)",
+						size0, trueMarks, doubles),
+					Cycle: r.eng.Now(),
+				}
+			}
+			return nil
+		}
+	}
+	return &Violation{
+		Kind: "liveness",
+		Detail: fmt.Sprintf("oracle set (size %d) still non-empty after %d default cycles (%s)",
+			len(r.eng.Oracle().Deadlocked()), r.o.Horizon, r.eng.Detector().Name()),
+		Cycle: r.eng.Now(),
+	}
+}

@@ -1,0 +1,164 @@
+// Package mc is a bounded model checker for the detection invariants: it
+// exhaustively explores every reachable blocking/advancing/injection
+// interleaving of a tiny fabric by driving the real simulation engine
+// through its nondeterminism seam (sim.Chooser), and checks the paper's
+// correctness claims at every reachable state:
+//
+//   - safety: the fabric structural invariants, the oracle cross-check and
+//     the sparse-kernel active-set audits (sim.Config.Debug) hold after
+//     every cycle, and NDM's flag lattice stays legal (DT implies I);
+//   - liveness: from every reachable state whose global-oracle deadlocked
+//     set is non-empty, the detector marks and recovery drains the set
+//     within a bounded horizon under the deterministic default schedule;
+//   - mark economy: draining a deadlocked set produces at least one
+//     true-classified mark (the set can only shrink through marking a
+//     member), and under Strict exactly one — the paper's one-victim-per-
+//     cycle claim — with no engine cycle carrying two true marks.
+//
+// The checker is sound for the explored bound because the engine is
+// deterministic given a choice sequence: a state is its canonical encoding
+// (encode.go), the frontier is explored breadth-first so counterexamples
+// are cycle-minimal, and any violation is reproducible from its recorded
+// choice path (replayable into a trace stream traceview renders).
+package mc
+
+import (
+	"fmt"
+	"io"
+
+	"wormnet/internal/recovery"
+)
+
+// Inject is one scripted message: the model checker explores every
+// admissible injection time for it within InjectWindow.
+type Inject struct {
+	Src, Dst, Length int
+}
+
+// Options configures one exhaustive check.
+type Options struct {
+	// K and N select the k-ary n-cube under test (2,2 = the 2x2 torus;
+	// 3,2 = the 3x3 torus).
+	K, N int
+	// VCs and BufFlits size the router (1 VC and small buffers keep
+	// 2-message deadlocks reachable and the state space tiny).
+	VCs, BufFlits int
+	// Mechanism selects the detector family: "ndm", "pdm", "cmh", or
+	// "none" (no detection — every deadlock is a liveness violation; used
+	// to generate regression counterexamples).
+	Mechanism string
+	// Threshold is the mechanism's detection threshold: NDM's t2, PDM's
+	// inactivity threshold, CMH's probe initiation delay. Zero selects 4.
+	Threshold int64
+	// Recovery selects the recovery discipline (default progressive).
+	Recovery recovery.Style
+	// Script is the workload; messages are injected in order, each
+	// deferrable by at most InjectWindow cycles.
+	Script []Inject
+	// InjectWindow bounds how many cycles each scripted injection may be
+	// deferred (every deferral is one explored branch). Zero means
+	// immediate injection only.
+	InjectWindow int
+	// MaxDepth bounds the explored depth in cycles; states at MaxDepth are
+	// checked but not expanded. Zero explores to fixpoint.
+	MaxDepth int
+	// Horizon bounds the liveness continuation: from a deadlocked state,
+	// the detector must mark and recovery must drain the oracle set within
+	// this many default-schedule cycles. Zero selects 8*Threshold + 16*K*N
+	// + 64, which covers detection delay, probe round trips and
+	// progressive drain on the tiny fabrics this package targets.
+	Horizon int
+	// Strict additionally requires exactly one true mark per drained
+	// deadlock episode and no engine cycle with two true marks (the
+	// paper's strongest reading of one-victim-per-cycle; see DESIGN.md
+	// §13 for which mechanisms satisfy it).
+	Strict bool
+	// MaxStates caps the visited-state set as a safety valve. Zero
+	// selects 2,000,000.
+	MaxStates int
+	// CollectSeeds, when positive, samples up to that many frontier-state
+	// encodings into Result.Seeds (fuzz corpus seeding).
+	CollectSeeds int
+	// Log, when non-nil, receives one-line progress reports.
+	Log io.Writer
+}
+
+func (o *Options) applyDefaults() error {
+	if o.K < 2 || o.N < 1 {
+		return fmt.Errorf("mc: invalid fabric %d-ary %d-cube", o.K, o.N)
+	}
+	if o.VCs == 0 {
+		o.VCs = 1
+	}
+	if o.BufFlits == 0 {
+		o.BufFlits = 2
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 4
+	}
+	if o.Horizon == 0 {
+		o.Horizon = int(8*o.Threshold) + 16*o.K*o.N + 64
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 2_000_000
+	}
+	if len(o.Script) == 0 {
+		return fmt.Errorf("mc: empty injection script")
+	}
+	switch o.Mechanism {
+	case "ndm", "pdm", "cmh", "none":
+	default:
+		return fmt.Errorf("mc: unknown mechanism %q", o.Mechanism)
+	}
+	return nil
+}
+
+// Violation is one invariant failure, reproducible from its choice path.
+type Violation struct {
+	// Kind is "safety", "flag-lattice", "liveness" or "mark-economy".
+	Kind string
+	// Detail is a human-readable description of the failure.
+	Detail string
+	// Path holds the choice vector of every cycle from the initial state
+	// to the violating state; the liveness continuation beyond it is the
+	// deterministic default schedule (all choices 0).
+	Path [][]uint8
+	// Cycle is the engine cycle the violation was detected at.
+	Cycle int64
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%s violation at cycle %d after %d explored cycles: %s",
+		v.Kind, v.Cycle, len(v.Path), v.Detail)
+}
+
+// Result summarizes one exhaustive check.
+type Result struct {
+	// Mechanism echoes the checked detector family.
+	Mechanism string
+	// States is the number of distinct canonical states visited.
+	States int
+	// Leaves is the number of single-cycle replays executed (explored
+	// interleavings, counting revisits).
+	Leaves int
+	// Depth is the deepest cycle boundary reached.
+	Depth int
+	// Complete reports that the frontier was exhausted without hitting
+	// MaxStates: every state reachable within MaxDepth was visited.
+	Complete bool
+	// DepthCapped reports that at least one frontier state sat at
+	// MaxDepth and was checked but not expanded (the run verified the
+	// space "to the depth bound" rather than to fixpoint).
+	DepthCapped bool
+	// DeadlockStates counts visited states whose oracle set was non-empty
+	// (each received a liveness probe). Zero means the script never
+	// deadlocks and the liveness check was vacuous.
+	DeadlockStates int
+	// TrueMarks is the total number of true-classified marks observed
+	// across all liveness probes.
+	TrueMarks int
+	// Violation is the first (cycle-minimal) invariant failure, or nil.
+	Violation *Violation
+	// Seeds holds sampled frontier-state encodings when CollectSeeds > 0.
+	Seeds [][]byte
+}

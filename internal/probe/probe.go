@@ -24,7 +24,9 @@
 package probe
 
 import (
+	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"wormnet/internal/detect"
 	"wormnet/internal/router"
@@ -537,6 +539,113 @@ func (d *Detector) launch(now int64, transmitted []bool) {
 		}
 		d.probes = d.expand(seed, m, node, now, transmitted, d.probes, true)
 	}
+}
+
+// AppendState implements detect.Encodable for the model checker. The
+// encoding covers everything that influences future probe behavior:
+//
+//   - every in-flight probe, in advance order (ordering is behavioral: the
+//     per-link one-flit budget is consumed first come, first served);
+//   - every blocked initiator, in launch order, with its blocked age clamped
+//     at InitDelay (beyond which eligibility no longer changes);
+//   - the pending-mark bits;
+//   - every non-default per-initiator wave window: wave age clamped at
+//     ReprobeEvery (beyond which the next launch reopens it), the
+//     wave-predates-blocking bit, and the sorted dedupe keys.
+//
+// Absolute cycle stamps never appear: ages are clamped at the point past
+// their largest behavioral threshold, and a probe's victim generation stamp
+// is encoded as its freshness (does the pooled slot still hold that
+// incarnation) plus its rank among live generation times (which fixes every
+// VictimOldest comparison it can still participate in). The rolling path
+// digest is carried but never compared (dedupe is edge-keyed), so it is
+// excluded. linkUsedAt and the cumulative counters are scratch/telemetry.
+func (d *Detector) AppendState(buf []byte, now int64) []byte {
+	buf = append(buf, byte(len(d.probes)))
+	for i := range d.probes {
+		p := &d.probes[i]
+		buf = appendID(buf, int32(p.initiator))
+		buf = appendID(buf, int32(p.target))
+		buf = appendID(buf, int32(p.at))
+		buf = appendID(buf, p.hops)
+		buf = appendID(buf, int32(p.victim))
+		buf = d.appendGenRank(buf, p.victim, p.victimGen)
+	}
+	buf = append(buf, byte(len(d.blocked)))
+	for _, id := range d.blocked {
+		buf = appendID(buf, int32(id))
+		m := d.fab.Msg(id)
+		if m == nil || m.Phase != router.PhaseNetwork {
+			buf = append(buf, 0xff, 0xff) // stale entry; launch retires it
+			continue
+		}
+		age := now - m.BlockedSince
+		if age > d.cfg.InitDelay {
+			age = d.cfg.InitDelay
+		}
+		buf = appendID(buf, int32(age))
+	}
+	for id := range d.pendingMark {
+		if d.pendingMark[id] {
+			buf = appendID(buf, int32(id))
+		}
+	}
+	buf = append(buf, 0xfe) // section separator (never a length byte above)
+	var keys []uint64
+	for id := range d.inits {
+		st := &d.inits[id]
+		if st.waveStart < 0 && len(st.seen) == 0 {
+			continue
+		}
+		buf = appendID(buf, int32(id))
+		var waveAge int32 = -1
+		var predates byte
+		if st.waveStart >= 0 {
+			a := now - st.waveStart
+			if a > d.cfg.ReprobeEvery {
+				a = d.cfg.ReprobeEvery
+			}
+			waveAge = int32(a)
+			if m := d.fab.Msg(router.MsgID(id)); m == nil || st.waveStart < m.BlockedSince {
+				predates = 1
+			}
+		}
+		buf = appendID(buf, waveAge)
+		buf = append(buf, predates, byte(len(st.seen)))
+		keys = keys[:0]
+		for k := range st.seen {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			buf = binary.LittleEndian.AppendUint64(buf, k)
+		}
+	}
+	return buf
+}
+
+// appendGenRank encodes a probe's victim generation stamp relative to the
+// live message population: freshness plus strictly-less / equal counts.
+func (d *Detector) appendGenRank(buf []byte, victim router.MsgID, gen int64) []byte {
+	var fresh, lt, eq byte
+	if vm := d.fab.Msg(victim); vm != nil && vm.GenTime == gen {
+		fresh = 1
+	}
+	d.fab.LiveMessages(func(m *router.Message) {
+		switch {
+		case m.GenTime < gen:
+			lt++
+		case m.GenTime == gen:
+			eq++
+		}
+	})
+	return append(buf, fresh, lt, eq)
+}
+
+// appendID appends a small signed value as two little-endian bytes (-1
+// survives as 0xffff; model-checked fabrics keep every ID tiny).
+func appendID(buf []byte, v int32) []byte {
+	return append(buf, byte(v), byte(v>>8))
 }
 
 // FNV-1a parameters for the rolling path digest.

@@ -85,6 +85,17 @@ func (e *Engine) Style() Style { return e.style }
 // Active returns the number of messages currently being absorbed.
 func (e *Engine) Active() int { return len(e.active) }
 
+// AppendActive appends the IDs of the messages currently being absorbed, in
+// absorption-list order, as two little-endian bytes each. The model checker
+// folds this into its state encoding: the list's order only affects hook
+// call order, but its membership decides which worms drain each cycle.
+func (e *Engine) AppendActive(buf []byte) []byte {
+	for _, id := range e.active {
+		buf = append(buf, byte(id), byte(id>>8))
+	}
+	return buf
+}
+
 // AbsorbedFlits returns the cumulative number of flits consumed through
 // absorption ports (progressive recovery only).
 func (e *Engine) AbsorbedFlits() int64 { return e.absorbedFlits }

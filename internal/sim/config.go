@@ -128,6 +128,13 @@ type Config struct {
 	// equivalence testing and as a fallback while diagnosing kernel bugs.
 	DenseKernel bool
 
+	// Chooser, when non-nil, resolves the engine's nondeterministic
+	// decision points (VC selection, arbitration winners) externally
+	// instead of with the seeded RNG and round-robin pointers, so a driver
+	// can enumerate every interleaving (see internal/mc). Requires
+	// Shards == 1: decisions must occur in one global order.
+	Chooser Chooser
+
 	// Debug enables per-cycle fabric invariant checking and active-set
 	// auditing (slow): every sparse-kernel list is cross-checked against a
 	// full rescan each cycle.
@@ -188,6 +195,9 @@ func (c *Config) validate() error {
 	}
 	if nodes := pow(c.K, c.N); c.Shards < 0 || c.Shards > nodes {
 		return fmt.Errorf("sim: Shards must be between 1 and the node count (%d), got %d", nodes, c.Shards)
+	}
+	if c.Chooser != nil && c.Shards != 1 {
+		return fmt.Errorf("sim: a Chooser requires Shards == 1, got %d", c.Shards)
 	}
 	if c.Routing == nil {
 		c.Routing = routing.TrueFullyAdaptive{}

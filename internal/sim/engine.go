@@ -156,6 +156,13 @@ type Engine struct {
 	marksThisCycle int
 	oracleCycle    int64 // last cycle the oracle ran (-1 = never)
 	oracleSize     int   // size of the most recent oracle deadlock set
+
+	// chooser, when non-nil, resolves VC selection and arbitration
+	// externally (see choose.go); freeCands and arbElig are its scratch
+	// option lists.
+	chooser   Chooser
+	freeCands []router.VCID
+	arbElig   []router.VCID
 }
 
 // New builds an Engine from cfg. The configuration is validated; defaults
@@ -187,6 +194,7 @@ func New(cfg Config) (*Engine, error) {
 		alg:         cfg.Routing,
 		tr:          cfg.Trace,
 		mc:          cfg.Metrics,
+		chooser:     cfg.Chooser,
 	}
 	e.oracle.SetCandidates(func(m *router.Message, node int, buf []router.VCID) []router.VCID {
 		return e.alg.Candidates(fab, m, node, buf)
@@ -633,7 +641,12 @@ func (e *Engine) routeCommit() {
 		// is live here was live in the parallel phase and owns a computed
 		// candidate set.
 		cands := e.routeCands[i*stride : i*stride+int(e.routeCandsLen[i])]
-		out := fab.PickVC(cands, e.cfg.Select, e.rnd)
+		var out router.VCID
+		if e.chooser != nil {
+			out = e.chooseVC(cands)
+		} else {
+			out = fab.PickVC(cands, e.cfg.Select, e.rnd)
+		}
 		if out != router.NilVC {
 			fab.Allocate(m, m.HeadVC, out)
 			m.Attempts = 0

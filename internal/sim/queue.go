@@ -26,6 +26,15 @@ func (q *msgQueue) Push(id router.MsgID) {
 	q.n++
 }
 
+// At returns the i-th queued ID from the front without removing it (used by
+// the model-checker state encoding). It panics when i is out of range.
+func (q *msgQueue) At(i int) router.MsgID {
+	if i < 0 || i >= q.n {
+		panic("sim: queue index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
 // Pop removes and returns the front ID. It panics on an empty queue (an
 // engine bug: admission checks Len first).
 func (q *msgQueue) Pop() router.MsgID {

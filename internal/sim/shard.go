@@ -536,6 +536,10 @@ func (e *Engine) transferDecide(s int) {
 // of one element is a no-op, RR()%1 is always 0, and the round-robin pointer
 // advances only on a grant in both paths.
 func (e *Engine) arbitrate(sh *shardState, tl router.LinkID, buf int32) {
+	if e.chooser != nil {
+		e.arbitrateChoose(sh, tl, buf)
+		return
+	}
 	fab := e.fab
 	vcs := fab.VCs
 	req := e.feeders[tl]

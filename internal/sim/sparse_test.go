@@ -93,6 +93,51 @@ func TestSparseKernelByteIdentity(t *testing.T) {
 	}
 }
 
+// TestSparseKernelUntracedSharded closes the race-coverage gap left by
+// TestSparseKernelByteIdentity: every run there is traced, and an attached
+// recorder forces the detector EndCycle onto the serial fallback — so the
+// sparse kernel's *parallel* EndCycle split across worker goroutines never
+// executed under the race detector. This variant runs untraced, sparse,
+// sharded, for every detector family, and must still match the dense
+// serial reference's counters and histograms.
+func TestSparseKernelUntracedSharded(t *testing.T) {
+	detectors := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"ndm", func(c *Config) {}},
+		{"pdm", func(c *Config) {
+			c.Detector = func(f *router.Fabric) detect.Detector { return detect.NewPDM(f, 24) }
+		}},
+		{"cmh", func(c *Config) {
+			c.Detector = func(f *router.Fabric) detect.Detector {
+				return probe.New(f, probe.Config{InitDelay: 8})
+			}
+		}},
+	}
+	for _, det := range detectors {
+		t.Run(det.name, func(t *testing.T) {
+			cfg := shardedConfig()
+			det.mod(&cfg)
+			dense := cfg
+			dense.DenseKernel = true
+			wantRes, _ := runSharded(t, dense, 1, false)
+			for _, shards := range []int{1, 2, 4} {
+				gotRes, _ := runSharded(t, cfg, shards, false)
+				if gotRes.Counters != wantRes.Counters {
+					t.Errorf("untraced sparse shards=%d: counters diverge\n got %+v\nwant %+v",
+						shards, gotRes.Counters, wantRes.Counters)
+				}
+				if !reflect.DeepEqual(gotRes.LatencyHist, wantRes.LatencyHist) ||
+					!reflect.DeepEqual(gotRes.DetectDelayHist, wantRes.DetectDelayHist) ||
+					!reflect.DeepEqual(gotRes.DetectLatencyHist, wantRes.DetectLatencyHist) {
+					t.Errorf("untraced sparse shards=%d: histograms diverge", shards)
+				}
+			}
+		})
+	}
+}
+
 // TestSparseKernelBursty pins the capability gate: a stateful process (no
 // Skipahead) must run the dense per-cycle generation path in both kernel
 // modes and still produce identical results — the sparse kernel only

@@ -248,6 +248,16 @@ func NewRecorder(last int) *Recorder {
 	return &Recorder{ring: make([]Event, last), buf: make([]byte, 0, 160)}
 }
 
+// NewStreaming returns a recorder that streams every event to w as JSONL
+// while keeping the most recent `last` events in its ring (DefaultCapacity
+// when last <= 0). It is NewRecorder + SetSink; callers must Flush before
+// reading w's destination.
+func NewStreaming(w io.Writer, last int) *Recorder {
+	r := NewRecorder(last)
+	r.SetSink(w)
+	return r
+}
+
 // SetSink additionally streams every subsequent event to w as one JSON line.
 // Encoding errors are sticky and reported by SinkErr; the ring keeps
 // recording regardless.
