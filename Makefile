@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet smoke shard-smoke sparse-smoke trace-smoke metrics-smoke conformance-exhaustive conformance-nightly conformance-cex conformance-fuzz-seeds shootout bench-harness bench-kernel bench-trace bench-metrics bench-shards bench-sparse profile clean
+.PHONY: all build test race vet smoke shard-smoke sparse-smoke trace-smoke metrics-smoke forensics-smoke conformance-exhaustive conformance-nightly conformance-cex conformance-fuzz-seeds shootout bench-harness bench-kernel bench-json bench-trace bench-metrics bench-shards bench-sparse profile clean
 
 all: vet test
 
@@ -78,6 +78,32 @@ trace-smoke: build
 		-trace /tmp/wormnet-ring.jsonl -trace-last 256 > /dev/null
 	/tmp/wormnet-traceview -summary /tmp/wormnet-ring.jsonl > /dev/null
 	@echo "trace-smoke: stream and ring captures decode, detections present"
+
+# Forensics pipeline gate: a fixed-seed saturated run dumps a deadlock
+# incident report; cmd/forensics parses it; the report is byte-identical
+# across shard counts and between the online observer and an offline replay
+# of the streamed trace; and enabling forensics leaves the run's stdout
+# byte-identical (pure observation).
+FORENSICS_ARGS = -k 4 -n 2 -vcs 1 -load 2.0 -inject-limit -1 -th 64 \
+	-warmup 0 -measure 3000 -oracle-every 1 -seed 7
+forensics-smoke: build
+	$(GO) build -o /tmp/wormnet-wormsim ./cmd/wormsim
+	$(GO) build -o /tmp/wormnet-forensics ./cmd/forensics
+	/tmp/wormnet-wormsim $(FORENSICS_ARGS) \
+		-forensics /tmp/wormnet-incidents.jsonl \
+		-trace /tmp/wormnet-forensics-events.jsonl \
+		> /tmp/wormnet-forensics-on.txt
+	/tmp/wormnet-wormsim $(FORENSICS_ARGS) > /tmp/wormnet-forensics-off.txt
+	cmp /tmp/wormnet-forensics-on.txt /tmp/wormnet-forensics-off.txt
+	/tmp/wormnet-wormsim $(FORENSICS_ARGS) -shards 4 \
+		-forensics /tmp/wormnet-incidents-s4.jsonl > /dev/null
+	cmp /tmp/wormnet-incidents.jsonl /tmp/wormnet-incidents-s4.jsonl
+	/tmp/wormnet-forensics -write /tmp/wormnet-incidents-replay.jsonl \
+		/tmp/wormnet-forensics-events.jsonl \
+		| tee /tmp/wormnet-forensics-summary.txt
+	cmp /tmp/wormnet-incidents.jsonl /tmp/wormnet-incidents-replay.jsonl
+	grep -q 'true-deadlock' /tmp/wormnet-forensics-summary.txt
+	@echo "forensics-smoke: incidents parse; byte-identical across shards, online/offline, stdout unchanged"
 
 # Exhaustive conformance gate (CI-required, well under 2 minutes): the
 # bounded model checker (internal/mc, cmd/mcheck) explores EVERY reachable
@@ -183,6 +209,17 @@ bench-kernel:
 	$(GO) test -run NONE -bench 'EngineStep|Oracle' -benchmem -benchtime 2s \
 		. | tee results/kernel_bench.txt
 
+# Machine-readable perf baseline: the same kernel benchmarks parsed into
+# BENCH_kernel.json (op times, allocs/op, fabric sizes) via cmd/benchjson,
+# so the perf trajectory is tracked across PRs instead of living only in
+# results/*.txt.
+bench-json:
+	$(GO) build -o /tmp/wormnet-benchjson ./cmd/benchjson
+	$(GO) test -run NONE -bench 'EngineStep|Oracle' -benchmem -benchtime 2s \
+		. | tee /tmp/wormnet-kernel-bench.txt | /tmp/wormnet-benchjson \
+		> BENCH_kernel.json
+	@echo "bench-json: wrote BENCH_kernel.json"
+
 # Flight-recorder overhead: the engine cycle benched with tracing off, with
 # the ring recorder, and with streaming JSONL encoding; writes
 # results/trace_overhead.txt. The TraceOff row must match the untraced
@@ -248,5 +285,10 @@ clean:
 		/tmp/wormnet-ring.jsonl /tmp/wormnet-trace-summary.txt \
 		/tmp/wormnet-metricsview /tmp/wormnet-metrics.pid \
 		/tmp/wormnet-run.series.jsonl /tmp/wormnet-plain.json /tmp/wormnet-metered.json \
-		/tmp/wormnet-sparse.json /tmp/wormnet-dense.json /tmp/wormnet-dense-sharded.json
+		/tmp/wormnet-sparse.json /tmp/wormnet-dense.json /tmp/wormnet-dense-sharded.json \
+		/tmp/wormnet-forensics /tmp/wormnet-benchjson /tmp/wormnet-kernel-bench.txt \
+		/tmp/wormnet-incidents.jsonl /tmp/wormnet-incidents-s4.jsonl \
+		/tmp/wormnet-incidents-replay.jsonl /tmp/wormnet-forensics-events.jsonl \
+		/tmp/wormnet-forensics-on.txt /tmp/wormnet-forensics-off.txt \
+		/tmp/wormnet-forensics-summary.txt
 	rm -rf /tmp/wormnet-series

@@ -1,0 +1,190 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON baseline, so the perf trajectory of the hot
+// kernels (engine cycle, oracle, observability overheads) can be tracked
+// across changes instead of living only in results/*.txt.
+//
+//	go test -run NONE -bench 'EngineStep|Oracle' -benchmem . | benchjson > BENCH_kernel.json
+//
+// The output document carries the platform header (goos/goarch/cpu/pkg)
+// and one record per benchmark: iteration count, ns/op, B/op, allocs/op,
+// any custom ReportMetric units, GOMAXPROCS (the -N name suffix), and the
+// fabric size the benchmark steps. Fabric sizes come from an explicit
+// `k<K>n<N>` fragment in the benchmark name when present, else from the
+// table of known kernel benchmarks below.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// fabric is the k-ary n-cube a benchmark steps.
+type fabric struct {
+	K     int `json:"k"`
+	N     int `json:"n"`
+	Nodes int `json:"nodes"`
+}
+
+// knownFabrics maps benchmark-name prefixes to the fabric they construct
+// (see bench_test.go; benchK=8, benchN=2). Longest prefix wins.
+var knownFabrics = map[string]fabric{
+	"EngineStepShards": {K: 8, N: 3, Nodes: 512},
+	"EngineStepSparse": {K: 16, N: 3, Nodes: 4096},
+	"EngineStep":       {K: 8, N: 2, Nodes: 64},
+	"EngineCycle":      {K: 8, N: 2, Nodes: 64},
+	"Oracle":           {K: 8, N: 2, Nodes: 64},
+}
+
+var inlineFabric = regexp.MustCompile(`k(\d+)n(\d+)`)
+
+type record struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"nsPerOp"`
+	BytesPerOp  *int64             `json:"bytesPerOp,omitempty"`
+	AllocsPerOp *int64             `json:"allocsPerOp,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Fabric      *fabric            `json:"fabric,omitempty"`
+}
+
+type document struct {
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark([^\s]+)\s+(\d+)\s+(.+)$`)
+
+func main() {
+	var rd io.Reader = os.Stdin
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		rd = f
+	default:
+		fail("usage: benchjson [bench-output.txt] (default stdin)")
+	}
+
+	doc := document{Benchmarks: []record{}}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if m := benchLine.FindStringSubmatch(line); m != nil {
+				rec, err := parseBench(m[1], m[2], m[3])
+				if err != nil {
+					fail("parsing %q: %v", line, err)
+				}
+				doc.Benchmarks = append(doc.Benchmarks, rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("%v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fail("no benchmark lines found (expected `go test -bench` output)")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fail("%v", err)
+	}
+}
+
+// parseBench decodes one benchmark result line: the name (with its
+// GOMAXPROCS suffix), the iteration count, and the whitespace-separated
+// "<value> <unit>" measurement pairs.
+func parseBench(name, iters, rest string) (record, error) {
+	rec := record{Name: name}
+	// The trailing -N is GOMAXPROCS, not part of the benchmark's identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			rec.Name, rec.Procs = name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(iters, 10, 64)
+	if err != nil {
+		return rec, err
+	}
+	rec.Iterations = n
+
+	f := strings.Fields(rest)
+	if len(f)%2 != 0 {
+		return rec, fmt.Errorf("odd measurement fields: %q", rest)
+	}
+	for i := 0; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return rec, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			rec.NsPerOp = v
+		case "B/op":
+			b := int64(v)
+			rec.BytesPerOp = &b
+		case "allocs/op":
+			a := int64(v)
+			rec.AllocsPerOp = &a
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[unit] = v
+		}
+	}
+	rec.Fabric = fabricOf(rec.Name)
+	return rec, nil
+}
+
+// fabricOf resolves a benchmark's fabric: an explicit k<K>n<N> fragment in
+// the name wins, else the longest matching known prefix.
+func fabricOf(name string) *fabric {
+	if m := inlineFabric.FindStringSubmatch(name); m != nil {
+		k, _ := strconv.Atoi(m[1])
+		n, _ := strconv.Atoi(m[2])
+		nodes := 1
+		for i := 0; i < n; i++ {
+			nodes *= k
+		}
+		return &fabric{K: k, N: n, Nodes: nodes}
+	}
+	best, bestLen := (*fabric)(nil), 0
+	for prefix := range knownFabrics {
+		if strings.HasPrefix(name, prefix) && len(prefix) > bestLen {
+			f := knownFabrics[prefix]
+			best, bestLen = &f, len(prefix)
+		}
+	}
+	return best
+}

@@ -1,0 +1,273 @@
+// Command forensics renders deadlock incident reports — the per-episode
+// causal records reconstructed by internal/forensics from the flight
+// recorder's event stream.
+//
+// It accepts either kind of file (or stdin) and tells them apart by
+// sniffing the first line:
+//
+//   - an incident report (JSONL of episodes) written by `wormsim -forensics`
+//     or the harness's -forensics-dir option, rendered directly;
+//   - a raw trace (JSONL of events) written by `wormsim -trace`, replayed
+//     through the episode correlator first. Offline replay of a streamed
+//     trace reconstructs byte-for-byte the same report the online observer
+//     produced during the run.
+//
+// Summary (default): per-verdict episode counts, mechanism, MTTD/MTTR
+// aggregates and a one-line digest of every episode.
+//
+//	forensics incidents.jsonl
+//	forensics events.jsonl
+//
+// Episode timeline (-episode): the full causal story of one episode —
+// formation cycle, members, marks with rule attribution and blocking
+// chains, victims and drain times.
+//
+//	forensics -episode 2 incidents.jsonl
+//
+// Machine output: -json re-emits the (decoded or reconstructed) episodes
+// as JSONL on stdout; -write saves them to a file — `forensics -write
+// incidents.jsonl events.jsonl` turns a trace into an incident report.
+//
+// -mech forces the mechanism stamped on reconstructed episodes when
+// replaying a trace whose mechanism is not inferable from its events.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wormnet/internal/forensics"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "forensics: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		episode  = flag.Int("episode", 0, "render the full timeline of this episode id (ids start at 1; 0 = summary of all)")
+		jsonOut  = flag.Bool("json", false, "re-emit the episodes as JSONL on stdout instead of rendering")
+		writeTo  = flag.String("write", "", "save the episodes as JSONL to this file (useful to turn a trace into an incident report)")
+		mechName = flag.String("mech", "", "force the mechanism name stamped on episodes reconstructed from a trace (default: inferred from events)")
+	)
+	flag.Parse()
+
+	var rd io.Reader = os.Stdin
+	name := "<stdin>"
+	switch len(flag.Args()) {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		rd = f
+		name = flag.Arg(0)
+	default:
+		fail("at most one incidents or trace file (or stdin)")
+	}
+
+	episodes, err := load(rd, *mechName)
+	if err != nil {
+		fail("%s: %v", name, err)
+	}
+
+	if *writeTo != "" {
+		f, err := os.Create(*writeTo)
+		if err != nil {
+			fail("%v", err)
+		}
+		err = forensics.WriteJSONL(f, episodes)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail("writing %s: %v", *writeTo, err)
+		}
+	}
+	if *jsonOut {
+		if err := forensics.WriteJSONL(os.Stdout, episodes); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	if *episode > 0 {
+		for _, ep := range episodes {
+			if ep.ID == *episode {
+				printTimeline(ep)
+				return
+			}
+		}
+		fail("%s: no episode %d (report has %d)", name, *episode, len(episodes))
+	}
+	printSummary(name, episodes)
+}
+
+// load sniffs whether rd is an incident report or a raw trace and returns
+// the episodes either way. Sniffing keys off the first non-empty line:
+// trace events always carry a "kind" field, episodes never do.
+func load(rd io.Reader, mech string) ([]*forensics.Episode, error) {
+	head := make([]byte, 4096)
+	n, err := io.ReadFull(rd, head)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	head = head[:n]
+	rd = io.MultiReader(strings.NewReader(string(head)), rd)
+	if isTrace(head) {
+		return forensics.Correlate(rd, forensics.Options{Mechanism: mech})
+	}
+	return forensics.DecodeEpisodes(rd)
+}
+
+func isTrace(head []byte) bool {
+	line := string(head)
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.Contains(line, `"kind":`)
+}
+
+func printSummary(name string, episodes []*forensics.Episode) {
+	if len(episodes) == 0 {
+		fmt.Printf("%s: no deadlock episodes\n", name)
+		return
+	}
+	var trues, falses, unresolved int
+	var mttdSum, mttdN, mttrSum, mttrN int64
+	mech := ""
+	for _, ep := range episodes {
+		switch ep.Verdict {
+		case forensics.VerdictTrueDeadlock:
+			trues++
+		default:
+			falses++
+		}
+		if ep.Unresolved {
+			unresolved++
+		}
+		if ep.MTTDCycles >= 0 {
+			mttdSum += ep.MTTDCycles
+			mttdN++
+		}
+		if ep.MTTRCycles >= 0 {
+			mttrSum += ep.MTTRCycles
+			mttrN++
+		}
+		if mech == "" {
+			mech = ep.Mechanism
+		}
+	}
+	fmt.Printf("%s: %d episode(s), mechanism %s\n", name, len(episodes), mech)
+	fmt.Printf("  verdicts:   %d true-deadlock, %d false-positive", trues, falses)
+	if unresolved > 0 {
+		fmt.Printf(" (%d unresolved at trace end)", unresolved)
+	}
+	fmt.Println()
+	if mttdN > 0 {
+		fmt.Printf("  MTTD:       %.1f cycles mean over %d episode(s)\n", float64(mttdSum)/float64(mttdN), mttdN)
+	}
+	if mttrN > 0 {
+		fmt.Printf("  MTTR:       %.1f cycles mean over %d episode(s)\n", float64(mttrSum)/float64(mttrN), mttrN)
+	}
+	fmt.Println()
+	for _, ep := range episodes {
+		span := fmt.Sprintf("%d..%d", ep.OpenCycle, ep.CloseCycle)
+		if ep.CloseCycle < 0 {
+			span = fmt.Sprintf("%d..(open)", ep.OpenCycle)
+		}
+		fmt.Printf("  #%d %-14s cycles %-13s members=%d marks=%d victims=%d",
+			ep.ID, ep.Verdict, span, len(ep.Members), len(ep.Marks), len(ep.Victims))
+		if ep.MTTDCycles >= 0 {
+			fmt.Printf(" mttd=%d", ep.MTTDCycles)
+		}
+		if ep.MTTRCycles >= 0 {
+			fmt.Printf(" mttr=%d", ep.MTTRCycles)
+		}
+		fmt.Println()
+	}
+}
+
+func printTimeline(ep *forensics.Episode) {
+	fmt.Printf("episode %d: %s, mechanism %s\n", ep.ID, ep.Verdict, ep.Mechanism)
+	span := fmt.Sprintf("%d..%d", ep.OpenCycle, ep.CloseCycle)
+	if ep.CloseCycle < 0 {
+		span = fmt.Sprintf("%d.. (unresolved at trace end)", ep.OpenCycle)
+	}
+	fmt.Printf("  span:       cycles %s\n", span)
+	if ep.PeakOracleSet > 0 {
+		fmt.Printf("  oracle:     peak deadlocked set %d\n", ep.PeakOracleSet)
+	}
+	if ep.MTTDCycles >= 0 {
+		fmt.Printf("  MTTD:       %d cycles (open -> first mark)\n", ep.MTTDCycles)
+	}
+	if ep.MTTRCycles >= 0 {
+		fmt.Printf("  MTTR:       %d cycles (first mark -> drained)\n", ep.MTTRCycles)
+	}
+	if len(ep.Formation) > 0 {
+		fmt.Printf("  formation (channel-wait-for cycle, %d edge(s)):\n", len(ep.Formation))
+		for _, e := range ep.Formation {
+			fmt.Printf("    msg %d blocked at node %d waits on link %d held by msg %d\n",
+				e.Msg, e.Node, e.Link, e.Next)
+		}
+	}
+	if len(ep.Members) > 0 {
+		fmt.Printf("  members (%d, oracle sighting order):\n", len(ep.Members))
+		for _, m := range ep.Members {
+			fmt.Printf("    msg %d sighted cycle %d, blocked at node %d in-link %d since cycle %d, holds %v\n",
+				m.Msg, m.Sighted, m.Node, m.InLink, m.BlockedSince, m.Holds)
+		}
+	}
+	if len(ep.Marks) > 0 {
+		fmt.Printf("  marks (%d):\n", len(ep.Marks))
+		for _, mk := range ep.Marks {
+			verdict := "FALSE"
+			if mk.True {
+				verdict = "TRUE"
+			}
+			fmt.Printf("    cycle %d msg %d node %d %s rule=%s", mk.Cycle, mk.Msg, mk.Node, verdict, mk.Rule)
+			if mk.Hops > 0 {
+				fmt.Printf(" hops=%d", mk.Hops)
+			}
+			if mk.SinceBlocked >= 0 {
+				fmt.Printf(" blocked-for=%d", mk.SinceBlocked)
+			}
+			if mk.OracleLatency >= 0 {
+				fmt.Printf(" oracle-latency=%d", mk.OracleLatency)
+			}
+			fmt.Println()
+			if len(mk.Chain) > 0 {
+				fmt.Printf("      blocking chain (%s):\n", mk.ChainEnd)
+				for _, e := range mk.Chain {
+					fmt.Printf("        msg %d at node %d -> link %d held by msg %d\n",
+						e.Msg, e.Node, e.Link, e.Next)
+				}
+			}
+		}
+	}
+	if len(ep.Victims) > 0 {
+		fmt.Printf("  victims (%d, ~%d flits absorbed):\n", len(ep.Victims), ep.AbsorbedFlitsEst)
+		for _, v := range ep.Victims {
+			style := "progressive"
+			if v.Style == 1 {
+				style = "regressive"
+			}
+			if v.End < 0 {
+				fmt.Printf("    msg %d recovery started cycle %d (%s), still draining at trace end\n",
+					v.Msg, v.Start, style)
+				continue
+			}
+			how := "requeued"
+			if v.Delivered {
+				how = "delivered"
+			}
+			fmt.Printf("    msg %d recovered cycles %d..%d (%s, %d cycle(s) drain, %d flit(s), %s at node %d)\n",
+				v.Msg, v.Start, v.End, style, v.DrainCycles, v.LengthFlits, how, v.Node)
+		}
+	}
+}

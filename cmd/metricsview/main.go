@@ -75,6 +75,8 @@ var fields = []field{
 	{"recoveryDepth", "messages undergoing recovery", false, gauge(func(s *metrics.Sample) int32 { return s.RecoveryDepth })},
 	{"oracleSet", "oracle deadlocked-set size", false, gauge(func(s *metrics.Sample) int32 { return s.OracleSet })},
 	{"probesInFlight", "cmh probes in flight", false, gauge(func(s *metrics.Sample) int32 { return s.ProbesInFlight })},
+	{"episodes", "deadlock episodes closed per window", false, delta(func(s *metrics.Sample) int64 { return s.EpisodesTrue + s.EpisodesFalse })},
+	{"episodesOpen", "deadlock episodes in flight", false, gauge(func(s *metrics.Sample) int32 { return s.EpisodesOpen })},
 }
 
 func fieldByName(name string) *field {
@@ -158,10 +160,22 @@ func printSummary(name string, samples []metrics.Sample) {
 		last.Generated, last.Injected, last.Delivered, last.DeliveredFlit)
 	fmt.Printf("marks:   %d true, %d false; recovered %d, reinjected %d\n",
 		last.MarkedTrue, last.MarkedFalse, last.Recovered, last.Reinjected)
+	if last.EpisodesTrue+last.EpisodesFalse > 0 || last.EpisodesOpen > 0 {
+		fmt.Printf("episodes: %d true-deadlock, %d false-positive (%d still open)\n",
+			last.EpisodesTrue, last.EpisodesFalse, last.EpisodesOpen)
+		if last.MTTDCount > 0 {
+			fmt.Printf("MTTD:    %.1f cycles mean over %d episode(s)\n",
+				float64(last.MTTDSum)/float64(last.MTTDCount), last.MTTDCount)
+		}
+		if last.MTTRCount > 0 {
+			fmt.Printf("MTTR:    %.1f cycles mean over %d episode(s)\n",
+				float64(last.MTTRSum)/float64(last.MTTRCount), last.MTTRCount)
+		}
+	}
 
 	var peaks strings.Builder
 	for _, f := range fields {
-		if f.rate || f.name == "marks" {
+		if f.rate || f.name == "marks" || f.name == "episodes" {
 			continue
 		}
 		max := 0.0

@@ -50,6 +50,8 @@ func main() {
 		metricsAddr   = flag.String("metrics-addr", "", "serve live Prometheus /metrics, JSON /status and /debug/pprof on this address while the run is in flight (\":0\" picks a free port, printed to stderr)")
 		metricsWindow = flag.Int64("metrics-window", 0, "cycles per time-series sample window (0 = default)")
 		seriesPath    = flag.String("series", "", "write the sampled time series to this file after the run (.csv for CSV, anything else JSONL)")
+
+		forensicsPath = flag.String("forensics", "", "reconstruct deadlock episodes online and write the incident report (JSONL) to this file after the run")
 	)
 	flag.Parse()
 
@@ -82,6 +84,7 @@ func main() {
 	cfg.MetricsAddr = *metricsAddr
 	cfg.MetricsWindow = *metricsWindow
 	cfg.SeriesPath = *seriesPath
+	cfg.ForensicsPath = *forensicsPath
 	if *metricsAddr != "" {
 		cfg.MetricsReady = func(addr string) {
 			fmt.Fprintf(os.Stderr, "wormsim: metrics listening on http://%s/metrics\n", addr)
@@ -105,6 +108,10 @@ func main() {
 	}
 	if (*metricsAddr != "" || *seriesPath != "") && *observe > 0 {
 		fmt.Fprintln(os.Stderr, "wormsim: -metrics-addr/-series cannot be combined with -observe")
+		os.Exit(2)
+	}
+	if *forensicsPath != "" && *observe > 0 {
+		fmt.Fprintln(os.Stderr, "wormsim: -forensics cannot be combined with -observe")
 		os.Exit(2)
 	}
 

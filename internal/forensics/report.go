@@ -1,0 +1,188 @@
+// Incident-record types and their JSONL encoding. One Episode per line,
+// encoded with encoding/json over fixed struct layouts, so a report is a
+// deterministic function of the episode values — which are themselves a
+// deterministic function of the trace byte stream (see forensics.go).
+package forensics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Episode is one reconstructed deadlock incident: the temporal span from the
+// first oracle sighting (or, for a pure false positive, the first mark) to
+// the cycle the last involved message drained or unblocked.
+type Episode struct {
+	// ID numbers episodes 1.. in open order.
+	ID int `json:"id"`
+	// Verdict is "true-deadlock" when the oracle sighted at least one
+	// member, "false-positive" when the episode consists only of marks the
+	// oracle refuted.
+	Verdict string `json:"verdict"`
+	// Unresolved marks an episode still open when the trace ended (its
+	// CloseCycle and MTTR are -1). The committed model-checker
+	// counterexample — a true deadlock with detection disabled — decodes as
+	// exactly this.
+	Unresolved bool `json:"unresolved,omitempty"`
+	// OpenCycle is the first oracle sighting (or first mark); CloseCycle is
+	// the cycle the last member/victim left the network (-1 if unresolved).
+	OpenCycle  int64 `json:"openCycle"`
+	CloseCycle int64 `json:"closeCycle"`
+	// Mechanism is the detection mechanism inferred from the event stream
+	// (or forced by Options.Mechanism): ndm, pdm, cmh, timeout, none.
+	Mechanism string `json:"mechanism"`
+	// PeakOracleSet is the largest deadlocked-set size the oracle reported
+	// during the episode.
+	PeakOracleSet int `json:"peakOracleSet"`
+	// MTTDCycles is first-mark − OpenCycle for oracle-confirmed episodes
+	// (-1 when nothing was marked or the verdict is false-positive). It is
+	// only as sharp as the oracle cadence: run with -oracle-every 1 for
+	// cycle-accurate values.
+	MTTDCycles int64 `json:"mttdCycles"`
+	// MTTRCycles is CloseCycle − first-mark (-1 when unresolved or
+	// markless).
+	MTTRCycles int64 `json:"mttrCycles"`
+	// Members are the oracle-sighted messages, in sighting order.
+	Members []Member `json:"members,omitempty"`
+	// Formation is the channel-wait-for cycle extracted from the members'
+	// sighting-time snapshots: each edge says Msg, blocked at router Node,
+	// waits on held channel Link occupied by member Next.
+	Formation []WaitEdge `json:"formation,omitempty"`
+	// Marks are the detector verdicts attributed to this episode, in mark
+	// order.
+	Marks []Mark `json:"marks,omitempty"`
+	// Victims are the messages recovery removed, in recover-start order.
+	Victims []Victim `json:"victims,omitempty"`
+	// AbsorbedFlitsEst estimates the flits drained by recovery as the sum
+	// of the victims' message lengths (the trace's recovery VC releases are
+	// anonymous, so the exact in-network flit count is not reconstructible).
+	AbsorbedFlitsEst int64 `json:"absorbedFlitsEst"`
+}
+
+// Member is one oracle-sighted message with its blocking state snapshotted
+// at sighting time.
+type Member struct {
+	Msg int32 `json:"msg"`
+	// Sighted is the cycle the oracle first reported the message deadlocked.
+	Sighted int64 `json:"sighted"`
+	// Node and InLink are where the header was blocked (router and input
+	// channel of its last failed routing attempt; -1 if it never failed).
+	Node   int32 `json:"node"`
+	InLink int32 `json:"inLink"`
+	// BlockedSince is the cycle of the first failed attempt of the current
+	// blocking run (-1 unknown).
+	BlockedSince int64 `json:"blockedSince"`
+	// Holds are the physical channels the worm occupied at sighting time,
+	// in allocation order.
+	Holds []int32 `json:"holds,omitempty"`
+}
+
+// WaitEdge is one channel dependency: Msg, blocked at router Node, waits for
+// channel Link (an output of Node) held by Next.
+type WaitEdge struct {
+	Msg  int32 `json:"msg"`
+	Node int32 `json:"node"`
+	Link int32 `json:"link"`
+	Next int32 `json:"next"`
+}
+
+// Mark is one detector verdict with its causal attribution.
+type Mark struct {
+	Cycle int64 `json:"cycle"`
+	Msg   int32 `json:"msg"`
+	Node  int32 `json:"node"`
+	// True is the oracle's verdict on the mark.
+	True bool `json:"true"`
+	// Rule names what fired, in the paper's terms: "g1-first-attempt" or
+	// "g2-promotion" (the NDM rule arming the input's G flag when its DT
+	// expired), "dt-threshold" (PDM), "probe-return" (CMH; Hops is the
+	// probe's cycle length), "timeout" for the crude heuristics.
+	Rule string `json:"rule"`
+	Hops int64  `json:"hops,omitempty"`
+	// SinceBlocked is mark − first failed attempt; OracleLatency is mark −
+	// oracle sighting (-1 for false positives, which were never sighted).
+	SinceBlocked  int64 `json:"sinceBlocked"`
+	OracleLatency int64 `json:"oracleLatency"`
+	// Chain, for false positives, is the blocking chain walked from the
+	// marked message over the channel-occupancy graph at mark time: the
+	// dependency path that kept the message inactive long enough to cross
+	// the NDM/PDM threshold without a real cycle. ChainEnd says how it
+	// terminated: "advancing" (reached a worm that was still moving — the
+	// usual explanation for a spurious threshold crossing), "no-holder",
+	// "cycle" (the over-approximate graph closed on itself), "truncated".
+	Chain    []WaitEdge `json:"chain,omitempty"`
+	ChainEnd string     `json:"chainEnd,omitempty"`
+}
+
+// Victim is one message removed by recovery.
+type Victim struct {
+	Msg int32 `json:"msg"`
+	// Start and End are the recover-start and recover-end cycles (End -1
+	// while draining at trace end). Node is where it re-entered (-1 until
+	// End). DrainCycles is End − Start.
+	Start       int64 `json:"start"`
+	End         int64 `json:"end"`
+	Node        int32 `json:"node"`
+	DrainCycles int64 `json:"drainCycles"`
+	// Delivered reports that the absorbing node was the destination.
+	Delivered bool `json:"delivered"`
+	// Style is the recovery style (0 progressive, 1 regressive).
+	Style int64 `json:"style"`
+	// LengthFlits is the message length (the absorbed-flit estimate).
+	LengthFlits int32 `json:"lengthFlits"`
+}
+
+// FirstMarkCycle returns the cycle of the episode's first mark, or -1.
+func (e *Episode) FirstMarkCycle() int64 {
+	if len(e.Marks) == 0 {
+		return -1
+	}
+	return e.Marks[0].Cycle
+}
+
+// WriteJSONL writes episodes one JSON object per line.
+func WriteJSONL(w io.Writer, episodes []*Episode) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, ep := range episodes {
+		b, err := json.Marshal(ep)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// DecodeEpisodes reads an incident report written by WriteJSONL. Errors
+// report the 1-based line number of the malformed line. Lines are read
+// with an unbounded reader: one merged episode of a pathological run
+// (saturation, per-cycle oracle, low threshold) can easily exceed any
+// fixed scanner cap.
+func DecodeEpisodes(r io.Reader) ([]*Episode, error) {
+	var out []*Episode
+	br := bufio.NewReaderSize(r, 1<<16)
+	line := 0
+	for {
+		b, err := br.ReadBytes('\n')
+		if len(b) > 0 {
+			line++
+			if trimmed := bytes.TrimRight(b, "\r\n"); len(trimmed) > 0 {
+				ep := &Episode{}
+				if jerr := json.Unmarshal(trimmed, ep); jerr != nil {
+					return nil, fmt.Errorf("forensics: incidents line %d: %w", line, jerr)
+				}
+				out = append(out, ep)
+			}
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}

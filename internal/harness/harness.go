@@ -303,11 +303,19 @@ func Run(points []Point, opt Options) ([]PointResult, error) {
 					busy.Add(1)
 					cfg := points[j.point].Config
 					cfg.Seed = j.seed
-					rec, mc := opt.Observe.attach(&cfg)
+					rec, mc, fc := opt.Observe.attach(&cfg)
 					res, err := safeRun(run, points[j.point].Key, cfg)
-					if rec != nil && (err != nil || rec.Contains(trace.KindDetect)) {
+					if rec != nil && opt.TraceDir != "" && (err != nil || rec.Contains(trace.KindDetect)) {
 						if terr := dumpTrace(opt.TraceDir, j.point, j.rep, points[j.point].Key, rec); terr != nil {
 							obsErrOnce.Do(func() { obsErr = terr })
+						}
+					}
+					if fc != nil {
+						fc.Finish()
+						if err != nil || len(fc.Episodes()) > 0 {
+							if ferr := dumpForensics(opt.ForensicsDir, j.point, j.rep, points[j.point].Key, fc); ferr != nil {
+								obsErrOnce.Do(func() { obsErr = ferr })
+							}
 						}
 					}
 					if mc != nil && err == nil {

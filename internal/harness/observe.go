@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"wormnet/internal/forensics"
 	"wormnet/internal/metrics"
 	"wormnet/internal/sim"
 	"wormnet/internal/trace"
@@ -44,6 +45,13 @@ type Observe struct {
 	// SeriesRing bounds each run's sample ring (metrics.DefaultRing
 	// when <= 0).
 	SeriesRing int
+	// ForensicsDir, when non-empty, attaches an episode correlator to every
+	// run (as an observer on a per-run flight recorder, attached implicitly
+	// if TraceDir is off) and dumps the per-episode incident report to
+	// ForensicsDir/p<point>-r<rep>-<key>.incidents.jsonl for each run that
+	// failed or reconstructed at least one episode. Clean runs leave no
+	// file.
+	ForensicsDir string
 }
 
 // AddFlags registers the standard observation flags (-trace-dir,
@@ -57,6 +65,8 @@ func (o *Observe) AddFlags(fs *flag.FlagSet) {
 		"dump per-run metrics time series and a sweep-aggregate registry into this directory")
 	fs.Int64Var(&o.SeriesWindow, "series-window", 0,
 		"metrics sampling window in cycles (default 256; requires -series-dir)")
+	fs.StringVar(&o.ForensicsDir, "forensics-dir", "",
+		"dump per-run deadlock incident reports for failed/episode-bearing runs into this directory")
 }
 
 // Validate rejects option combinations AddFlags can produce that make no
@@ -81,12 +91,15 @@ func (o Observe) WithSuffix(suffix string) Observe {
 	if o.SeriesDir != "" {
 		o.SeriesDir += suffix
 	}
+	if o.ForensicsDir != "" {
+		o.ForensicsDir += suffix
+	}
 	return o
 }
 
 // prepare creates the configured output directories (and missing parents).
 func (o *Observe) prepare() error {
-	for _, dir := range []string{o.TraceDir, o.SeriesDir} {
+	for _, dir := range []string{o.TraceDir, o.SeriesDir, o.ForensicsDir} {
 		if dir == "" {
 			continue
 		}
@@ -100,7 +113,7 @@ func (o *Observe) prepare() error {
 // attach builds this run's observers and wires them into cfg. Each run gets
 // its own recorder and collector: Point.Config is shared across replicates
 // and both observers are single-owner.
-func (o *Observe) attach(cfg *sim.Config) (*trace.Recorder, *metrics.Collector) {
+func (o *Observe) attach(cfg *sim.Config) (*trace.Recorder, *metrics.Collector, *forensics.Correlator) {
 	var rec *trace.Recorder
 	if o.TraceDir != "" {
 		rec = trace.NewRecorder(o.TraceLast)
@@ -111,7 +124,18 @@ func (o *Observe) attach(cfg *sim.Config) (*trace.Recorder, *metrics.Collector) 
 		mc = metrics.NewCollector(metrics.Options{Window: o.SeriesWindow, Ring: o.SeriesRing})
 		cfg.Metrics = mc
 	}
-	return rec, mc
+	var fc *forensics.Correlator
+	if o.ForensicsDir != "" {
+		if rec == nil {
+			// The correlator observes the trace stream; give it a ring-only
+			// recorder when trace dumps themselves are off.
+			rec = trace.NewRecorder(o.TraceLast)
+			cfg.Trace = rec
+		}
+		fc = forensics.New(forensics.Options{Metrics: mc})
+		rec.SetObserver(fc.Observe)
+	}
+	return rec, mc, fc
 }
 
 // dumpSeries writes one completed run's sampled time series to its per-run
@@ -123,6 +147,20 @@ func dumpSeries(dir string, point, rep int, key string, mc *metrics.Collector) e
 		return err
 	}
 	err = mc.WriteSeriesJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// dumpForensics writes one run's incident report to its per-run file.
+func dumpForensics(dir string, point, rep int, key string, fc *forensics.Correlator) error {
+	name := fmt.Sprintf("p%03d-r%d-%s.incidents.jsonl", point, rep, sanitizeKey(key))
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	err = fc.WriteReport(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

@@ -52,6 +52,11 @@ const (
 	MProbesDropped
 	MProbesReturned
 	MProbeFlits
+	// MEpisodesTrue / MEpisodesFalse count closed deadlock episodes by
+	// verdict, fed by the forensics episode correlator when one is attached
+	// (zero otherwise).
+	MEpisodesTrue
+	MEpisodesFalse
 
 	numMetrics
 )
@@ -77,6 +82,8 @@ var metricSpecs = [numMetrics]struct {
 	MProbesDropped:   {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "drop"},
 	MProbesReturned:  {"wormnet_probes_total", "CMH probe lifecycle events, by outcome.", "event", "return"},
 	MProbeFlits:      {"wormnet_probe_flits_total", "Control flits charged to physical links by probe movement.", "", ""},
+	MEpisodesTrue:    {"wormnet_episodes_total", "Closed deadlock episodes by verdict.", "verdict", "true-deadlock"},
+	MEpisodesFalse:   {"wormnet_episodes_total", "Closed deadlock episodes by verdict.", "verdict", "false-positive"},
 }
 
 // Sample is one time-series point: the network's state at the end of a
@@ -114,6 +121,19 @@ type Sample struct {
 	NonemptyQueues int32 `json:"nonemptyQueues"` // nodes with a nonempty source queue
 	ActiveLinks    int32 `json:"activeLinks"`    // output links that carried a flit this cycle
 	WormsInFlight  int32 `json:"wormsInFlight"`  // messages admitted and not yet delivered/requeued
+
+	// Episode (forensics) families, zero unless an episode correlator feeds
+	// the collector: cumulative closed-episode counts by verdict, the
+	// cumulative MTTD/MTTR sums and observation counts (difference and
+	// divide adjacent samples for windowed means), and the episodes-open
+	// gauge.
+	EpisodesTrue  int64 `json:"episodesTrue"`
+	EpisodesFalse int64 `json:"episodesFalse"`
+	MTTDSum       int64 `json:"mttdSum"`
+	MTTDCount     int64 `json:"mttdCount"`
+	MTTRSum       int64 `json:"mttrSum"`
+	MTTRCount     int64 `json:"mttrCount"`
+	EpisodesOpen  int32 `json:"episodesOpen"`
 
 	// Per-dimension occupancy of network physical channels. DimVCs[d] is
 	// the number of busy VCs on dimension-d network channels; DimLinks[d]
@@ -180,6 +200,11 @@ type Collector struct {
 	detDelay *Histogram // first failed attempt -> mark
 	detLat   *Histogram // oracle-first-deadlock -> mark
 
+	// Episode families (forensics correlator).
+	gEpisodesOpen *Gauge
+	epMTTD        *Histogram // episode open -> first mark
+	epMTTR        *Histogram // first mark -> episode close
+
 	// Sampler state. nextSample is touched only by the engine goroutine;
 	// the ring and scratch are guarded by mu against concurrent scrapes.
 	nextSample int64
@@ -230,6 +255,11 @@ func NewCollector(opt Options) *Collector {
 		"First failed routing attempt to detector mark.", ExpBounds(1<<12))
 	c.detLat = c.reg.Histogram("wormnet_detect_latency_cycles",
 		"Oracle-confirmed deadlock to detector mark.", ExpBounds(1<<12))
+	c.gEpisodesOpen = c.reg.Gauge("wormnet_episodes_open", "Deadlock episodes currently in flight.")
+	c.epMTTD = c.reg.Histogram("wormnet_episode_mttd_cycles",
+		"Episode open (first oracle sighting) to first detector mark.", ExpBounds(1<<12))
+	c.epMTTR = c.reg.Histogram("wormnet_episode_mttr_cycles",
+		"First detector mark to episode close (last member drained).", ExpBounds(1<<14))
 	return c
 }
 
@@ -336,6 +366,35 @@ func (c *Collector) ObserveDetectLatency(cycles int64) {
 	c.detLat.Observe(cycles)
 }
 
+// ObserveEpisode records one closed deadlock episode: its oracle verdict
+// and, when known (>= 0), its MTTD (episode open to first mark) and MTTR
+// (first mark to close) in cycles. The forensics correlator calls it;
+// nil-safe.
+func (c *Collector) ObserveEpisode(trueDeadlock bool, mttd, mttr int64) {
+	if c == nil {
+		return
+	}
+	if trueDeadlock {
+		c.counts[MEpisodesTrue].Inc()
+	} else {
+		c.counts[MEpisodesFalse].Inc()
+	}
+	if mttd >= 0 {
+		c.epMTTD.Observe(mttd)
+	}
+	if mttr >= 0 {
+		c.epMTTR.Observe(mttr)
+	}
+}
+
+// SetEpisodesOpen updates the episodes-in-flight gauge. Nil-safe.
+func (c *Collector) SetEpisodesOpen(n int) {
+	if c == nil {
+		return
+	}
+	c.gEpisodesOpen.Set(int64(n))
+}
+
 // EndCycle advances the collector's clock and, on window boundaries, takes
 // a sample by probing p. The engine calls it once per Step; on a nil
 // receiver it is a single branch.
@@ -376,6 +435,11 @@ func (c *Collector) takeSample(now int64, p Prober) {
 		s.DimVCs[i] = 0
 		s.DimLinks[i] = 0
 	}
+	s.EpisodesTrue = c.counts[MEpisodesTrue].Value()
+	s.EpisodesFalse = c.counts[MEpisodesFalse].Value()
+	s.MTTDSum, s.MTTDCount = c.epMTTD.Sum(), c.epMTTD.Count()
+	s.MTTRSum, s.MTTRCount = c.epMTTR.Sum(), c.epMTTR.Count()
+	s.EpisodesOpen = int32(c.gEpisodesOpen.Value())
 	if p != nil {
 		p.ProbeMetrics(s)
 	}
@@ -462,10 +526,12 @@ var seriesFields = []string{
 	"queued", "blocked", "busyVCs", "busyLinks",
 	"iFlags", "dtFlags", "gFlags", "recoveryDepth", "oracleSet",
 	"probesInFlight", "nonemptyQueues", "activeLinks", "wormsInFlight",
+	"episodesTrue", "episodesFalse", "mttdSum", "mttdCount",
+	"mttrSum", "mttrCount", "episodesOpen",
 }
 
-func (s *Sample) fixedValues() [22]int64 {
-	return [22]int64{
+func (s *Sample) fixedValues() [29]int64 {
+	return [29]int64{
 		s.Cycle, s.Generated, s.Injected, s.Delivered, s.DeliveredFlit,
 		s.MarkedTrue, s.MarkedFalse, s.Recovered, s.Reinjected,
 		int64(s.Queued), int64(s.Blocked), int64(s.BusyVCs), int64(s.BusyLinks),
@@ -473,6 +539,8 @@ func (s *Sample) fixedValues() [22]int64 {
 		int64(s.RecoveryDepth), int64(s.OracleSet),
 		int64(s.ProbesInFlight), int64(s.NonemptyQueues),
 		int64(s.ActiveLinks), int64(s.WormsInFlight),
+		s.EpisodesTrue, s.EpisodesFalse, s.MTTDSum, s.MTTDCount,
+		s.MTTRSum, s.MTTRCount, int64(s.EpisodesOpen),
 	}
 }
 

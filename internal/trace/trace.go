@@ -234,6 +234,8 @@ type Recorder struct {
 	sink    *bufio.Writer
 	buf     []byte
 	sinkErr error
+
+	obs func(Event)
 }
 
 // DefaultCapacity is the ring size NewRecorder uses for last <= 0.
@@ -303,6 +305,21 @@ func (r *Recorder) record(ev Event) {
 			r.sinkErr = err
 		}
 	}
+	if r.obs != nil {
+		r.obs(ev)
+	}
+}
+
+// SetObserver attaches fn to be called synchronously with every recorded
+// event, after the ring (and sink, if any) have seen it. Pass nil to detach.
+// Because all emit sites run on the engine's serial commit spine, fn sees
+// events in a single-threaded, deterministic order even under sharded
+// stepping. Nil-safe.
+func (r *Recorder) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.obs = fn
 }
 
 // Total returns how many events have been emitted over the recorder's

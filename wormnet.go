@@ -25,6 +25,7 @@ import (
 
 	"wormnet/internal/detect"
 	"wormnet/internal/exp"
+	"wormnet/internal/forensics"
 	"wormnet/internal/harness"
 	"wormnet/internal/metrics"
 	"wormnet/internal/probe"
@@ -273,6 +274,18 @@ type Config struct {
 	// MetricsReady, when non-nil, is called with the exporter's bound
 	// address once it is listening (mainly useful with ":0").
 	MetricsReady func(addr string)
+
+	// ForensicsPath, when non-empty, attaches the episode correlator (see
+	// internal/forensics) as an online trace observer and writes the
+	// per-episode incident report (JSONL, one episode per line) to this
+	// file when the run finishes — even when no episodes occurred, so a
+	// sweep can distinguish "clean run" from "forensics off". Forensics
+	// requires the flight recorder: if TracePath is unset a ring-only
+	// recorder is attached internally (no trace file is produced).
+	// Incident reports are a pure function of the trace event stream, so
+	// they inherit its determinism contract: byte-identical for a fixed
+	// seed across shard counts and sparse/dense kernels.
+	ForensicsPath string
 }
 
 // DefaultConfig returns the paper's baseline: 8-ary 3-cube, 3 VCs with
@@ -533,6 +546,19 @@ func writeSeries(path string, mc *metrics.Collector) error {
 	return err
 }
 
+// writeForensics dumps a correlator's incident report to path as JSONL.
+func writeForensics(path string, fc *forensics.Correlator) error {
+	f, err := createFile(path)
+	if err != nil {
+		return err
+	}
+	err = fc.WriteReport(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Run executes the simulation described by cfg and returns its metrics.
 func Run(cfg Config) (*Result, error) {
 	sc, err := cfg.simConfig()
@@ -558,6 +584,17 @@ func Run(cfg Config) (*Result, error) {
 		mc = metrics.NewCollector(metrics.Options{Window: cfg.MetricsWindow})
 		sc.Metrics = mc
 	}
+	var fc *forensics.Correlator
+	if cfg.ForensicsPath != "" {
+		if rec == nil {
+			// Forensics rides the trace event stream; attach a ring-only
+			// recorder (never dumped) when tracing itself is off.
+			rec = trace.NewRecorder(cfg.TraceLast)
+			sc.Trace = rec
+		}
+		fc = forensics.New(forensics.Options{Metrics: mc})
+		rec.SetObserver(fc.Observe)
+	}
 	eng, err := sim.New(sc)
 	if err != nil {
 		if sink != nil {
@@ -579,6 +616,14 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	r, runErr := eng.Run()
+	if fc != nil {
+		fc.Finish()
+		if runErr == nil {
+			if werr := writeForensics(cfg.ForensicsPath, fc); werr != nil {
+				runErr = fmt.Errorf("wormnet: writing incidents %s: %w", cfg.ForensicsPath, werr)
+			}
+		}
+	}
 	if runErr == nil && cfg.SeriesPath != "" {
 		if werr := writeSeries(cfg.SeriesPath, mc); werr != nil {
 			return nil, fmt.Errorf("wormnet: writing series %s: %w", cfg.SeriesPath, werr)
@@ -592,7 +637,7 @@ func Run(cfg Config) (*Result, error) {
 		if runErr == nil && ferr != nil {
 			return nil, fmt.Errorf("wormnet: writing trace %s: %w", cfg.TracePath, ferr)
 		}
-	} else if rec != nil && (runErr != nil || rec.Contains(trace.KindDetect)) {
+	} else if rec != nil && cfg.TracePath != "" && (runErr != nil || rec.Contains(trace.KindDetect)) {
 		// Ring mode: dump the flight recorder only when something went
 		// wrong or a detection fired, so healthy runs stay file-free.
 		f, cerr := createFile(cfg.TracePath)
